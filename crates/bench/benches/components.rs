@@ -1,0 +1,160 @@
+//! Criterion microbenches for the hot components of the simulation stack:
+//! the costs here bound how fast the figure harnesses can run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::RngCore;
+
+use simkit::{EventQueue, SimRng};
+use storage::bloom::BloomFilter;
+use storage::cache::{BlockCache, BlockKey};
+use storage::{Cell, LsmConfig, LsmTree, Memtable, SsTable, TableId};
+use ycsb::generator::Zipfian;
+use ycsb::Histogram;
+
+fn key(i: u64) -> bytes::Bytes {
+    bytes::Bytes::from(format!("user{i:012}").into_bytes())
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("simrng/next_u64", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.push((i * 7) % 997, i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    c.bench_function("zipfian/next", |b| {
+        let z = Zipfian::new(1_000_000);
+        let mut rng = SimRng::new(2);
+        b.iter(|| black_box(z.next(&mut rng)));
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram/record", |b| {
+        let mut h = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v % 10_000_000));
+        });
+    });
+}
+
+fn bench_memtable(c: &mut Criterion) {
+    c.bench_function("memtable/insert", |b| {
+        let mut m = Memtable::new();
+        let mut i = 0u64;
+        let value = bytes::Bytes::from(vec![7u8; 100]);
+        b.iter(|| {
+            i += 1;
+            m.insert(key(i % 100_000), Cell::live(value.clone(), i));
+        });
+    });
+}
+
+fn bench_sstable_get(c: &mut Criterion) {
+    let entries: Vec<_> = (0..100_000u64)
+        .map(|i| (key(i), Cell::live(bytes::Bytes::from_static(b"v"), i)))
+        .collect();
+    let table = SsTable::build(TableId(1), entries, 8 * 1024);
+    c.bench_function("sstable/get_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            black_box(table.get(&key(i)))
+        });
+    });
+    c.bench_function("sstable/get_bloom_miss", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(table.get(format!("ghost{i}").as_bytes()))
+        });
+    });
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut f = BloomFilter::with_capacity(100_000, 10);
+    for i in 0..100_000u64 {
+        f.insert(&key(i));
+    }
+    c.bench_function("bloom/may_contain", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(f.may_contain(&key(i % 200_000)))
+        });
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("block_cache/get_insert", |b| {
+        let mut cache = BlockCache::new(1 << 20);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let k = BlockKey {
+                table: TableId(u64::from(i % 7)),
+                block: i % 300,
+            };
+            if cache.get(k).is_none() {
+                cache.insert(k, 4_096);
+            }
+        });
+    });
+}
+
+fn bench_lsm_read_path(c: &mut Criterion) {
+    let mut tree = LsmTree::new(LsmConfig::default());
+    for i in 0..50_000u64 {
+        tree.put(key(i), Cell::live(bytes::Bytes::from(vec![1u8; 100]), i));
+        if i % 10_000 == 9_999 {
+            tree.flush();
+        }
+    }
+    c.bench_function("lsm/get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 50_000;
+            black_box(tree.get(&key(i)).cell.is_some())
+        });
+    });
+    c.bench_function("lsm/scan_50", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 104_729) % 40_000;
+            black_box(tree.scan(&key(i), 50).rows.len())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_event_queue,
+    bench_zipfian,
+    bench_histogram,
+    bench_memtable,
+    bench_sstable_get,
+    bench_bloom,
+    bench_cache,
+    bench_lsm_read_path,
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion wrappers over whole figure cells at smoke scale: one
+//! representative (store, workload) end-to-end simulated run per figure, so
+//! regressions in harness wall-time are caught by `cargo bench`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bench_core::driver::{self, DriverConfig};
+use bench_core::setup::{build_cstore, build_hstore, Scale};
+use cstore::Consistency;
+use ycsb::WorkloadSpec;
+
+fn quick_driver(workload: WorkloadSpec, scale: &Scale) -> DriverConfig {
+    DriverConfig {
+        threads: 8,
+        warmup_ops: 100,
+        measure_ops: 1_000,
+        value_len: scale.value_len,
+        ..DriverConfig::new(workload, scale.records)
+    }
+}
+
+fn bench_fig1_cell(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let mut base = build_cstore(&scale, 3, Consistency::One, Consistency::One);
+    driver::load(&mut base, scale.records, scale.value_len, 1);
+    c.bench_function("fig1_cell/cstore_rf3_read_round", |b| {
+        let cfg = quick_driver(WorkloadSpec::micro(storage::OpKind::Read), &scale);
+        b.iter(|| {
+            let mut snapshot = base.clone();
+            black_box(driver::run(&mut snapshot, &cfg).throughput)
+        });
+    });
+}
+
+fn bench_fig2_cell(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let mut base = build_hstore(&scale, 3);
+    driver::load(&mut base, scale.records, scale.value_len, 1);
+    c.bench_function("fig2_cell/hstore_rf3_read_mostly", |b| {
+        let cfg = quick_driver(WorkloadSpec::read_mostly(), &scale);
+        b.iter(|| {
+            let mut snapshot = base.clone();
+            black_box(driver::run(&mut snapshot, &cfg).throughput)
+        });
+    });
+}
+
+fn bench_fig3_cell(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let mut base = build_cstore(&scale, 3, Consistency::Quorum, Consistency::Quorum);
+    driver::load(&mut base, scale.records, scale.value_len, 1);
+    c.bench_function("fig3_cell/cstore_quorum_read_update", |b| {
+        let cfg = quick_driver(WorkloadSpec::read_update(), &scale);
+        b.iter(|| {
+            let mut snapshot = base.clone();
+            black_box(driver::run(&mut snapshot, &cfg).throughput)
+        });
+    });
+}
+
+fn bench_load_phase(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    c.bench_function("load/cstore_tiny", |b| {
+        b.iter(|| {
+            let mut store = build_cstore(&scale, 3, Consistency::One, Consistency::One);
+            driver::load(&mut store, scale.records, scale.value_len, 1);
+            black_box(store.len())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1_cell, bench_fig2_cell, bench_fig3_cell, bench_load_phase
+}
+criterion_main!(benches);

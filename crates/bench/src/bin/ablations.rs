@@ -1,0 +1,43 @@
+//! Runs the beyond-paper ablations: read-repair chance, commit-log
+//! durability, and failover phases. Writes CSVs under `results/`.
+
+use bench_core::ablation::{
+    ablate_commitlog, ablate_partitioner, ablate_read_repair, failover_phases, geo_read_latency,
+    AblationConfig,
+};
+
+fn main() {
+    let cfg = if bench::quick_requested() {
+        AblationConfig::quick()
+    } else {
+        AblationConfig::default()
+    };
+    let started = std::time::Instant::now();
+
+    let rr = ablate_read_repair(&cfg, 6);
+    println!("{}", rr.render());
+    rr.write_csv(&bench::results_dir().join("ablation_read_repair.csv"))
+        .expect("write csv");
+
+    let cl = ablate_commitlog(&cfg);
+    println!("{}", cl.render());
+    cl.write_csv(&bench::results_dir().join("ablation_commitlog.csv"))
+        .expect("write csv");
+
+    let fo = failover_phases(&cfg);
+    println!("{}", fo.render());
+    fo.write_csv(&bench::results_dir().join("extension_failover.csv"))
+        .expect("write csv");
+
+    let geo = geo_read_latency(&cfg, 25_000);
+    println!("{}", geo.render());
+    geo.write_csv(&bench::results_dir().join("extension_geo.csv"))
+        .expect("write csv");
+
+    let part = ablate_partitioner(&cfg);
+    println!("{}", part.render());
+    part.write_csv(&bench::results_dir().join("ablation_partitioner.csv"))
+        .expect("write csv");
+
+    eprintln!("ablations: done in {:.1}s", started.elapsed().as_secs_f64());
+}

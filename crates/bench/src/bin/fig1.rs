@@ -1,0 +1,41 @@
+//! Regenerates Fig. 1: the micro benchmark for replication.
+//!
+//! Both stores, RF 1..6, one atomic-operation round each for
+//! update/read/insert/scan at an unsaturated load. Prints the latency
+//! tables, ASCII latency curves, and writes `results/fig1_micro.csv`.
+
+use bench_core::micro::{run_micro, MicroConfig, MICRO_OPS};
+use bench_core::report::AsciiChart;
+use bench_core::setup::StoreKind;
+
+fn main() {
+    let cfg = if bench::quick_requested() {
+        MicroConfig::quick()
+    } else {
+        MicroConfig::default()
+    };
+    eprintln!(
+        "fig1: {} records, rf {:?}, {} threads, target {} ops/s",
+        cfg.scale.records, cfg.rfs, cfg.threads, cfg.target_ops_per_sec
+    );
+    let started = std::time::Instant::now();
+    let result = run_micro(&cfg);
+    eprintln!("fig1: done in {:.1}s", started.elapsed().as_secs_f64());
+
+    println!("{}", result.render());
+    for store in [StoreKind::HStore, StoreKind::CStore] {
+        for op in MICRO_OPS {
+            let mut chart = AsciiChart::new(
+                &format!("{} {} mean latency vs RF", store.short(), op.label()),
+                "us",
+            );
+            for (rf, mean) in result.series(store, op) {
+                chart.point(&format!("rf={rf}"), mean);
+            }
+            println!("{}", chart.render());
+        }
+    }
+    let path = bench::results_dir().join("fig1_micro.csv");
+    result.table().write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

@@ -1,0 +1,45 @@
+//! Regenerates Fig. 2: the stress benchmark for replication.
+//!
+//! Both stores, RF 1..6, the five Table 1 workloads; constant threads,
+//! peak runtime throughput with its latency. Writes
+//! `results/fig2_stress.csv`.
+
+use bench_core::report::AsciiChart;
+use bench_core::setup::StoreKind;
+use bench_core::stress::{run_stress, StressConfig};
+
+fn main() {
+    let cfg = if bench::quick_requested() {
+        StressConfig::quick()
+    } else {
+        StressConfig::default()
+    };
+    eprintln!(
+        "fig2: {} records, rf {:?}, {} workloads, {} threads",
+        cfg.scale.records,
+        cfg.rfs,
+        cfg.workloads.len(),
+        cfg.threads
+    );
+    let started = std::time::Instant::now();
+    let result = run_stress(&cfg);
+    eprintln!("fig2: done in {:.1}s", started.elapsed().as_secs_f64());
+
+    println!("{}", result.render());
+    let workload_names: Vec<String> = cfg.workloads.iter().map(|w| w.name.clone()).collect();
+    for store in [StoreKind::HStore, StoreKind::CStore] {
+        for w in &workload_names {
+            let mut chart = AsciiChart::new(
+                &format!("{} \"{w}\" peak throughput vs RF", store.short()),
+                "ops/s",
+            );
+            for (rf, tp) in result.throughput_series(store, w) {
+                chart.point(&format!("rf={rf}"), tp);
+            }
+            println!("{}", chart.render());
+        }
+    }
+    let path = bench::results_dir().join("fig2_stress.csv");
+    result.table().write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

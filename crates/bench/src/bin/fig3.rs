@@ -1,0 +1,42 @@
+//! Regenerates Fig. 3: the stress benchmark for consistency.
+//!
+//! Cassandra analog at RF=3, consistency ONE vs QUORUM vs write-ALL, the
+//! five Table 1 workloads, runtime throughput vs target throughput. Writes
+//! `results/fig3_consistency.csv`.
+
+use bench_core::consistency::{run_consistency, ConsistencyConfig};
+use bench_core::report::AsciiChart;
+
+fn main() {
+    let cfg = if bench::quick_requested() {
+        ConsistencyConfig::quick()
+    } else {
+        ConsistencyConfig::default()
+    };
+    eprintln!(
+        "fig3: {} records, rf {}, {} levels × {} workloads × {} targets",
+        cfg.scale.records,
+        cfg.rf,
+        cfg.levels.len(),
+        cfg.workloads.len(),
+        cfg.targets.len()
+    );
+    let started = std::time::Instant::now();
+    let result = run_consistency(&cfg);
+    eprintln!("fig3: done in {:.1}s", started.elapsed().as_secs_f64());
+
+    println!("{}", result.render());
+    for w in &cfg.workloads {
+        let mut chart = AsciiChart::new(
+            &format!("\"{}\" peak runtime throughput by consistency level", w.name),
+            "ops/s",
+        );
+        for level in &cfg.levels {
+            chart.point(level.name, result.peak(level.name, &w.name));
+        }
+        println!("{}", chart.render());
+    }
+    let path = bench::results_dir().join("fig3_consistency.csv");
+    result.table().write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

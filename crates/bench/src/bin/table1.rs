@@ -1,0 +1,55 @@
+//! Regenerates the paper's Table 1: "Workloads of the stress benchmarks for
+//! replication and consistency".
+
+use bench_core::report::Table;
+use storage::OpKind;
+use ycsb::WorkloadSpec;
+
+fn mix_description(w: &WorkloadSpec) -> String {
+    let m = w.mix;
+    let mut parts = Vec::new();
+    for (frac, label) in [
+        (m.read, "read"),
+        (m.update, "update"),
+        (m.insert, "insert"),
+        (m.scan, "scan"),
+        (m.rmw, "read-modify-write"),
+    ] {
+        if frac > 0.0 {
+            parts.push(format!("{label} {:.0}%", frac * 100.0));
+        }
+    }
+    parts.join(" / ")
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Table 1 — workloads of the stress benchmarks for replication and consistency",
+        &["workload", "typical usage", "operations", "records distribution"],
+    );
+    for w in WorkloadSpec::paper_stress_workloads() {
+        t.row(vec![
+            w.name.clone(),
+            w.typical_usage.clone(),
+            mix_description(&w),
+            format!("{:?}", w.distribution),
+        ]);
+    }
+    println!("{}", t.render());
+    let path = bench::results_dir().join("table1_workloads.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+
+    // The micro rounds, for completeness (the paper describes them in §3.3).
+    let mut m = Table::new(
+        "Micro benchmark rounds (1-byte records, uniform requests)",
+        &["round", "operation"],
+    );
+    for (i, op) in [OpKind::Update, OpKind::Read, OpKind::Insert, OpKind::Scan]
+        .iter()
+        .enumerate()
+    {
+        m.row(vec![(i + 1).to_string(), op.label().into()]);
+    }
+    println!("{}", m.render());
+}

@@ -1,0 +1,27 @@
+//! # bench — harness regenerating every evaluation artifact
+//!
+//! Binaries (run with `--release`; each also writes CSV under `results/`):
+//!
+//! * `table1` — the paper's Table 1 (workload definitions).
+//! * `fig1` — micro benchmark for replication (latency vs RF, both stores).
+//! * `fig2` — stress benchmark for replication (peak throughput + latency
+//!   vs RF, five workloads, both stores).
+//! * `fig3` — stress benchmark for consistency (runtime vs target under
+//!   ONE / QUORUM / write-ALL, Cassandra analog, RF=3).
+//! * `ablations` — beyond-paper ablations (read repair, commit-log
+//!   durability, failover phases).
+//!
+//! Pass `--quick` to any figure binary for a fast smoke-scale run.
+//! Criterion microbenches for the hot components live in `benches/`.
+
+/// True when the CLI asked for the smoke-scale variant.
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The directory figure CSVs are written into (`RESULTS_DIR` overrides).
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(
+        std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".to_owned()),
+    )
+}

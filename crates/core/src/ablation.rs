@@ -1,0 +1,391 @@
+//! Beyond-paper ablations and extension experiments.
+//!
+//! The paper's §6 lists what its single-rack testbed could not do; these
+//! experiments cover the design-choice ablations DESIGN.md calls out:
+//!
+//! * **read repair on/off** — isolates the mechanism the paper blames for
+//!   Cassandra's read-latency growth at RF > 3;
+//! * **commit-log durability** — periodic (the paper's deployment) vs
+//!   per-write sync, isolating the mechanism behind flat write latency;
+//! * **failover** — Pokluda et al.-style availability: throughput and
+//!   errors before, during, and after a node failure.
+
+use cstore::{CommitlogSync, Consistency};
+use simkit::{NodeId, Topology};
+use ycsb::WorkloadSpec;
+
+use crate::driver::{self, DriverConfig};
+use crate::report::{fmt_ops, fmt_us, Table};
+use crate::setup::{build_cstore_with, build_hstore, Scale};
+use crate::store::SimStore;
+
+/// Shared knobs for the ablation runs.
+#[derive(Debug, Clone)]
+pub struct AblationConfig {
+    /// Record/cache scale.
+    pub scale: Scale,
+    /// Client threads.
+    pub threads: usize,
+    /// Warm-up completions per run.
+    pub warmup_ops: u64,
+    /// Measured completions per run.
+    pub measure_ops: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        Self {
+            scale: Scale::stress(),
+            threads: 64,
+            warmup_ops: 2_000,
+            measure_ops: 15_000,
+            seed: 42,
+        }
+    }
+}
+
+impl AblationConfig {
+    /// A fast variant for tests.
+    pub fn quick() -> Self {
+        Self {
+            scale: Scale::tiny(),
+            threads: 8,
+            warmup_ops: 100,
+            measure_ops: 800,
+            seed: 42,
+        }
+    }
+
+    fn driver(&self, workload: WorkloadSpec) -> DriverConfig {
+        DriverConfig {
+            workload,
+            threads: self.threads,
+            target_ops_per_sec: 0.0,
+            records: self.scale.records,
+            value_len: self.scale.value_len,
+            warmup_ops: self.warmup_ops,
+            measure_ops: self.measure_ops,
+            seed: self.seed,
+        }
+    }
+}
+
+/// One labelled measurement row.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Runtime throughput, ops/s.
+    pub throughput: f64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// Stale-read fraction.
+    pub stale_fraction: f64,
+    /// Errors in the measured window.
+    pub errors: u64,
+}
+
+fn to_row<S: SimStore>(variant: &str, out: &driver::RunOutcome, _store: &S) -> AblationRow {
+    AblationRow {
+        variant: variant.to_owned(),
+        throughput: out.throughput,
+        mean_us: out.mean_latency_us,
+        stale_fraction: out.stale_fraction,
+        errors: out.errors,
+    }
+}
+
+fn rows_table(title: &str, rows: &[AblationRow]) -> Table {
+    let mut t = Table::new(title, &["variant", "throughput", "mean latency", "stale%", "errors"]);
+    for r in rows {
+        t.row(vec![
+            r.variant.clone(),
+            fmt_ops(r.throughput),
+            fmt_us(r.mean_us),
+            format!("{:.3}%", r.stale_fraction * 100.0),
+            r.errors.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Ablation A — read repair chance 0 / 0.1 / 1.0 at a high RF, CL=ONE,
+/// read-mostly: the mechanism behind the Fig. 1 Cassandra read knee.
+pub fn ablate_read_repair(cfg: &AblationConfig, rf: u32) -> Table {
+    let mut rows = Vec::new();
+    for chance in [0.0, 0.1, 1.0] {
+        let mut store = build_cstore_with(
+            &cfg.scale,
+            rf,
+            Consistency::One,
+            Consistency::One,
+            |c| c.read_repair_chance = chance,
+        );
+        driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+        let out = driver::run(&mut store, &cfg.driver(WorkloadSpec::read_mostly()));
+        rows.push(to_row(
+            &format!("read_repair_chance={chance}"),
+            &out,
+            &store,
+        ));
+    }
+    rows_table(
+        &format!("Ablation — read repair chance (cstore, RF={rf}, CL=ONE, read mostly)"),
+        &rows,
+    )
+}
+
+/// Ablation B — commit-log durability: periodic (deployed default) vs
+/// per-write sync on a write-heavy workload.
+pub fn ablate_commitlog(cfg: &AblationConfig) -> Table {
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("periodic (default)", CommitlogSync::Periodic),
+        ("per-write sync", CommitlogSync::PerWrite),
+    ] {
+        let mut store = build_cstore_with(
+            &cfg.scale,
+            3,
+            Consistency::One,
+            Consistency::One,
+            |c| c.commitlog_sync = mode,
+        );
+        driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+        let out = driver::run(&mut store, &cfg.driver(WorkloadSpec::read_update()));
+        rows.push(to_row(label, &out, &store));
+    }
+    rows_table(
+        "Ablation — commit-log durability (cstore, RF=3, read & update)",
+        &rows,
+    )
+}
+
+/// Extension — Pokluda et al.-style failover: phase throughput for both
+/// stores before a node failure, while the node is down, and after
+/// recovery.
+pub fn failover_phases(cfg: &AblationConfig) -> Table {
+    let workload = WorkloadSpec::read_mostly;
+    let mut rows: Vec<AblationRow> = Vec::new();
+
+    // --- cstore: CL=ONE rides through a replica failure. ---
+    {
+        let mut store = build_cstore_with(
+            &cfg.scale,
+            3,
+            Consistency::One,
+            Consistency::One,
+            |_| {},
+        );
+        driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+        let healthy = driver::run(&mut store, &cfg.driver(workload()));
+        rows.push(to_row("cstore healthy", &healthy, &store));
+
+        store.fail_node(NodeId(0));
+        let degraded = driver::run(&mut store, &cfg.driver(workload()));
+        rows.push(to_row("cstore node down", &degraded, &store));
+
+        // Recovery needs a sim to replay hints into; run a no-op sim tick.
+        let mut sim: simkit::Sim<crate::store::DriverEvent<cstore::Event>> =
+            simkit::Sim::new(cfg.seed);
+        store.recover_node(&mut sim, NodeId(0));
+        while let Some(ev) = sim.next() {
+            if let crate::store::DriverEvent::Store(e) = ev {
+                cstore::Cluster::handle(&mut store, &mut sim, e);
+            }
+        }
+        let recovered = driver::run(&mut store, &cfg.driver(workload()));
+        rows.push(to_row("cstore recovered", &recovered, &store));
+    }
+
+    // --- hstore: regions fail over; the dead server's ranges go remote. ---
+    {
+        let mut store = build_hstore(&cfg.scale, 3);
+        driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+        let healthy = driver::run(&mut store, &cfg.driver(workload()));
+        rows.push(to_row("hstore healthy", &healthy, &store));
+
+        store.fail_server(NodeId(0));
+        let failed_over = driver::run(&mut store, &cfg.driver(workload()));
+        rows.push(to_row("hstore after failover", &failed_over, &store));
+
+        store.recover_server(NodeId(0));
+        let recovered = driver::run(&mut store, &cfg.driver(workload()));
+        rows.push(to_row("hstore recovered", &recovered, &store));
+    }
+
+    rows_table(
+        "Extension — failover phases (read mostly, RF=3, one node killed)",
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_repair_ablation_runs() {
+        let t = ablate_read_repair(&AblationConfig::quick(), 3);
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.render().contains("read_repair_chance=0"));
+    }
+
+    #[test]
+    fn commitlog_ablation_shows_per_write_cost() {
+        let t = ablate_commitlog(&AblationConfig::quick());
+        assert_eq!(t.rows.len(), 2);
+        // Column 2 is mean latency like "3.20ms"; parse back loosely by
+        // comparing throughput (col 1): periodic must beat per-write sync.
+        let parse = |s: &str| -> f64 {
+            if let Some(k) = s.strip_suffix('k') {
+                k.parse::<f64>().unwrap_or(0.0) * 1_000.0
+            } else {
+                s.parse::<f64>().unwrap_or(0.0)
+            }
+        };
+        let periodic = parse(&t.rows[0][1]);
+        let perwrite = parse(&t.rows[1][1]);
+        assert!(
+            periodic > perwrite,
+            "periodic {periodic} should out-run per-write {perwrite}"
+        );
+    }
+
+    #[test]
+    fn failover_phases_run_without_errors_at_cl_one() {
+        let t = failover_phases(&AblationConfig::quick());
+        assert_eq!(t.rows.len(), 6);
+        // cstore at CL=ONE must keep serving with a node down.
+        let down_row = &t.rows[1];
+        assert_eq!(down_row[0], "cstore node down");
+        assert_eq!(down_row[4], "0", "CL=ONE should ride through: {down_row:?}");
+    }
+}
+
+/// Extension — the geo-distributed testbed the paper's §6 calls for:
+/// replicas spread over three "regions" with a configurable inter-region
+/// one-way delay. Shows how each consistency level's latency responds to
+/// geography (the PACELC "EL" leg): ONE stays local-ish, QUORUM pays one
+/// cross-region round trip, write-ALL pays the farthest replica.
+pub fn geo_read_latency(cfg: &AblationConfig, inter_region_us: u64) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "Extension — geo-distributed replicas (3 regions, {:.0} ms one-way inter-region)",
+            inter_region_us as f64 / 1_000.0
+        ),
+        &["consistency", "topology", "throughput", "mean latency", "stale%"],
+    );
+    for (name, read, write) in [
+        ("ONE", Consistency::One, Consistency::One),
+        ("QUORUM", Consistency::Quorum, Consistency::Quorum),
+        ("write ALL", Consistency::One, Consistency::All),
+    ] {
+        for (label, racks) in [("single rack", 1u32), ("3 regions", 3)] {
+            let nodes = cfg.scale.nodes;
+            let mut store = build_cstore_with(&cfg.scale, 3, read, write, |c| {
+                c.topology = if racks == 1 {
+                    Topology::single_rack(nodes, c.profile.nic.prop_us)
+                } else {
+                    Topology::racks(nodes, racks, c.profile.nic.prop_us, inter_region_us)
+                };
+            });
+            driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+            let out = driver::run(&mut store, &cfg.driver(WorkloadSpec::read_update()));
+            t.row(vec![
+                name.into(),
+                label.into(),
+                crate::report::fmt_ops(out.throughput),
+                fmt_us(out.mean_latency_us),
+                format!("{:.3}%", out.stale_fraction * 100.0),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod geo_tests {
+    use super::*;
+
+    #[test]
+    fn geography_hurts_higher_consistency_more() {
+        let cfg = AblationConfig::quick();
+        let t = geo_read_latency(&cfg, 25_000);
+        assert_eq!(t.rows.len(), 6);
+        let ms = |s: &str| -> f64 {
+            s.trim_end_matches("ms")
+                .trim_end_matches("us")
+                .parse::<f64>()
+                .unwrap_or(0.0)
+                * if s.ends_with("ms") { 1_000.0 } else { 1.0 }
+        };
+        // Rows: (ONE, single), (ONE, geo), (QUORUM, single), (QUORUM, geo),
+        //       (ALL, single), (ALL, geo).
+        let one_penalty = ms(&t.rows[1][3]) - ms(&t.rows[0][3]);
+        let quorum_penalty = ms(&t.rows[3][3]) - ms(&t.rows[2][3]);
+        let all_penalty = ms(&t.rows[5][3]) - ms(&t.rows[4][3]);
+        assert!(
+            quorum_penalty > one_penalty,
+            "QUORUM should pay more for geography: ONE +{one_penalty}us vs QUORUM +{quorum_penalty}us"
+        );
+        assert!(
+            all_penalty > one_penalty,
+            "write-ALL should pay more for geography: ONE +{one_penalty}us vs ALL +{all_penalty}us"
+        );
+    }
+}
+
+/// Ablation — partitioner choice: the order-preserving partitioner the scan
+/// workloads require vs the hashing (Murmur-style) partitioner Cassandra
+/// defaults to. Measures point-op throughput and the per-node primary-load
+/// balance; range scans are only meaningful under the ordered partitioner.
+pub fn ablate_partitioner(cfg: &AblationConfig) -> Table {
+    let mut t = Table::new(
+        "Ablation — partitioner (cstore, RF=3, read & update)",
+        &["partitioner", "throughput", "mean latency", "primary-load skew (max/min)"],
+    );
+    for ordered in [true, false] {
+        let nodes = cfg.scale.nodes;
+        let tokens = cfg.scale.tokens();
+        let mut store = build_cstore_with(&cfg.scale, 3, Consistency::One, Consistency::One, |c| {
+            c.partitioner = if ordered {
+                cstore::Partitioner::order_preserving(tokens)
+            } else {
+                cstore::Partitioner::murmur()
+            };
+        });
+        driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+        let out = driver::run(&mut store, &cfg.driver(WorkloadSpec::read_update()));
+        // Primary-load balance: how evenly the preloaded keys spread.
+        let mut counts = vec![0u64; nodes];
+        for i in 0..cfg.scale.records.min(20_000) {
+            counts[store.ring().primary(&ycsb::encode_key(i))] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        t.row(vec![
+            if ordered { "order-preserving".into() } else { "murmur (hashing)".into() },
+            fmt_ops(out.throughput),
+            fmt_us(out.mean_latency_us),
+            format!("{:.2}", max / min.max(1.0)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod partitioner_tests {
+    use super::*;
+
+    #[test]
+    fn both_partitioners_balance_hashed_keys() {
+        let t = ablate_partitioner(&AblationConfig::quick());
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let skew: f64 = row[3].parse().unwrap();
+            assert!(skew < 1.6, "{} skew {skew} too high", row[0]);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # bench-core — the paper's benchmarking methodology as a library
+//!
+//! This crate is the reproduction of the paper's *contribution*: the
+//! methodology of §3 ("Benchmarking Replication and Consistency") and the
+//! experiments of §4, runnable against the simulated stores.
+//!
+//! * [`store`] — the [`store::SimStore`] abstraction over the two database
+//!   analogs plus the driver-facing event wrapper.
+//! * [`driver`] — the closed-loop YCSB client: thread pacing, target
+//!   throughput, warm-up separation, RMW composition, latency histograms,
+//!   and stale-read measurement.
+//! * [`setup`] — calibrated cluster builders: the paper's testbed scaled
+//!   down by a documented factor (record counts and cache sizes shrink
+//!   together so cache-hit regimes are preserved).
+//! * [`micro`] — Fig. 1: per-operation latency vs replication factor at an
+//!   unsaturated load, both stores.
+//! * [`stress`] — Fig. 2: peak runtime throughput and latency vs
+//!   replication factor for the five Table 1 workloads, both stores.
+//! * [`consistency`] — Fig. 3: runtime vs target throughput under ONE /
+//!   QUORUM / write-ALL, Cassandra analog at RF=3.
+//! * [`ablation`] — beyond-paper experiments: read repair on/off,
+//!   commit-log durability modes, node failure/failover.
+//! * [`sla`] — the paper's §6 future work: SLA-based stress specification
+//!   (bisection search for the highest throughput meeting a latency SLA).
+//! * [`report`] — text tables, ASCII charts, and CSV emission.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod consistency;
+pub mod driver;
+pub mod micro;
+pub mod report;
+pub mod setup;
+pub mod sla;
+pub mod store;
+pub mod stress;
+
+pub use driver::{DriverConfig, RunOutcome};
+pub use report::{AsciiChart, Table};
+pub use setup::{build_cstore, build_hstore, Scale, StoreKind};
+pub use store::{DriverEvent, SimStore};

@@ -1,0 +1,169 @@
+//! The driver-facing store abstraction.
+//!
+//! Both database analogs expose the same asynchronous submit/handle/drain
+//! surface; [`SimStore`] unifies them so the YCSB driver, the experiments,
+//! and the examples are written once.
+
+use simkit::Sim;
+use storage::{Completion, Key, StoreOp, Value};
+
+/// The event payload the driver runs its simulation over: client-side
+/// wake-ups interleaved with the store's internal events.
+#[derive(Debug, Clone)]
+pub enum DriverEvent<E> {
+    /// A client thread is due to issue its next operation.
+    Issue {
+        /// The client thread.
+        thread: usize,
+    },
+    /// An internal store event.
+    Store(E),
+}
+
+impl<E> From<E> for DriverEvent<E> {
+    fn from(e: E) -> Self {
+        DriverEvent::Store(e)
+    }
+}
+
+/// A simulated cloud serving database, as the benchmark driver sees it.
+pub trait SimStore {
+    /// The store's internal event type.
+    type Event;
+
+    /// Short display name (`"hstore"` / `"cstore"`).
+    fn name(&self) -> &'static str;
+
+    /// Submit a client operation; its completion surfaces via
+    /// [`SimStore::drain_completions`] at the virtual time the response
+    /// reaches the client.
+    fn submit(&mut self, sim: &mut Sim<DriverEvent<Self::Event>>, token: u64, op: StoreOp);
+
+    /// Dispatch one internal event.
+    fn handle(&mut self, sim: &mut Sim<DriverEvent<Self::Event>>, ev: Self::Event);
+
+    /// Take completions produced since the last drain.
+    fn drain_completions(&mut self) -> Vec<Completion>;
+
+    /// Bulk-load one record functionally (no virtual time).
+    fn load_direct(&mut self, key: Key, value: Value, ts: u64);
+
+    /// Flush memtables/memstores to sorted runs functionally.
+    fn flush_all(&mut self);
+
+    /// Warm block caches to steady state (post-load, pre-measurement).
+    fn warm_caches(&mut self);
+
+    /// Behaviour counters for reports: `(label, value)` pairs.
+    fn counters(&self) -> Vec<(&'static str, u64)>;
+}
+
+impl SimStore for cstore::Cluster {
+    type Event = cstore::Event;
+
+    fn name(&self) -> &'static str {
+        "cstore"
+    }
+
+    fn submit(&mut self, sim: &mut Sim<DriverEvent<Self::Event>>, token: u64, op: StoreOp) {
+        cstore::Cluster::submit(self, sim, token, op);
+    }
+
+    fn handle(&mut self, sim: &mut Sim<DriverEvent<Self::Event>>, ev: Self::Event) {
+        cstore::Cluster::handle(self, sim, ev);
+    }
+
+    fn drain_completions(&mut self) -> Vec<Completion> {
+        cstore::Cluster::drain_completions(self)
+    }
+
+    fn load_direct(&mut self, key: Key, value: Value, ts: u64) {
+        cstore::Cluster::load_direct(self, key, value, ts);
+    }
+
+    fn flush_all(&mut self) {
+        cstore::Cluster::flush_all(self);
+    }
+
+    fn warm_caches(&mut self) {
+        cstore::Cluster::warm_caches(self);
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let m = self.metrics();
+        vec![
+            ("reads", m.reads),
+            ("writes", m.writes),
+            ("scans", m.scans),
+            ("unavailable", m.unavailable),
+            ("timeouts", m.timeouts),
+            ("digest_mismatches", m.digest_mismatches),
+            ("repair_fanouts", m.repair_fanouts),
+            ("repair_writes", m.repair_writes),
+            ("hints_stored", m.hints_stored),
+            ("hints_replayed", m.hints_replayed),
+            ("flushes", m.flushes),
+            ("compactions", m.compactions),
+        ]
+    }
+}
+
+impl SimStore for hstore::Cluster {
+    type Event = hstore::Event;
+
+    fn name(&self) -> &'static str {
+        "hstore"
+    }
+
+    fn submit(&mut self, sim: &mut Sim<DriverEvent<Self::Event>>, token: u64, op: StoreOp) {
+        hstore::Cluster::submit(self, sim, token, op);
+    }
+
+    fn handle(&mut self, sim: &mut Sim<DriverEvent<Self::Event>>, ev: Self::Event) {
+        hstore::Cluster::handle(self, sim, ev);
+    }
+
+    fn drain_completions(&mut self) -> Vec<Completion> {
+        hstore::Cluster::drain_completions(self)
+    }
+
+    fn load_direct(&mut self, key: Key, value: Value, ts: u64) {
+        hstore::Cluster::load_direct(self, key, value, ts);
+    }
+
+    fn flush_all(&mut self) {
+        hstore::Cluster::flush_all(self);
+    }
+
+    fn warm_caches(&mut self) {
+        hstore::Cluster::warm_caches(self);
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let m = self.metrics();
+        vec![
+            ("reads", m.reads),
+            ("writes", m.writes),
+            ("scans", m.scans),
+            ("server_down", m.server_down),
+            ("wal_groups", m.wal_groups),
+            ("wal_entries", m.wal_entries),
+            ("flushes", m.flushes),
+            ("compactions", m.compactions),
+            ("regions_moved", m.regions_moved),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_event_wraps_store_events() {
+        let ev: DriverEvent<u32> = 7u32.into();
+        assert!(matches!(ev, DriverEvent::Store(7)));
+        let issue: DriverEvent<u32> = DriverEvent::Issue { thread: 3 };
+        assert!(matches!(issue, DriverEvent::Issue { thread: 3 }));
+    }
+}

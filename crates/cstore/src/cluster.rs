@@ -1,0 +1,1623 @@
+//! The assembled cluster: coordinators, replicas, consistency, repair.
+//!
+//! Request lifecycles are event chains. A write: `Arrive` at the coordinator
+//! → `ReplicaWrite` at every live replica → `WriteApplied` (CPU/log done,
+//! the functional mutation lands *here*, so concurrent reads see it at the
+//! correct virtual instant) → `WriteAck` back at the coordinator → `Deliver`
+//! to the client once the consistency level's quota is met. Reads and scans
+//! are analogous with quota-gated responses, timestamp reconciliation, and
+//! (for reads) optional all-replica repair fan-out.
+
+use std::collections::HashMap;
+
+use simkit::{NodeId, Sim, SimTime};
+use storage::types::entry_encoded_len;
+use storage::{Cell, Completion, Key, OpError, OpResult, StoreOp, Value};
+
+use crate::config::{CStoreConfig, CommitlogSync};
+use crate::event::Event;
+use crate::metrics::Metrics;
+use crate::node::{CNode, Hint};
+use crate::ring::Ring;
+
+/// Default RPC give-up interval (virtual time).
+const RPC_TIMEOUT_US: u64 = 2_000_000;
+
+#[derive(Debug, Clone)]
+struct Pending {
+    op: StoreOp,
+    coordinator: NodeId,
+    state: PendingState,
+}
+
+#[derive(Debug, Clone)]
+enum PendingState {
+    /// Created at submit; replaced at `Arrive`.
+    Init,
+    Write(WriteState),
+    Read(ReadState),
+    Scan(ScanState),
+}
+
+#[derive(Debug, Clone)]
+struct WriteState {
+    needed: u32,
+    expected: u32,
+    acks: u32,
+    responded: bool,
+    ts: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ReadState {
+    needed: u32,
+    expected: u32,
+    responded: bool,
+    /// True when this read probes all replicas for repair: the response
+    /// then waits for every replica (Cassandra 2.0 blocks for all contacted
+    /// replicas when read repair is active).
+    fanout: bool,
+    results: Vec<(NodeId, Option<Cell>)>,
+}
+
+#[derive(Debug, Clone)]
+struct ScanState {
+    limit: usize,
+    needed_this_round: u32,
+    received_this_round: u32,
+    partials: Vec<Vec<(Key, Cell)>>,
+    collected: Vec<(Key, Cell)>,
+    current_primary: usize,
+    rounds: u32,
+    responded: bool,
+}
+
+/// A simulated Cassandra-analog cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: CStoreConfig,
+    ring: Ring,
+    nodes: Vec<CNode>,
+    pending: HashMap<u64, Pending>,
+    completed: Vec<Completion>,
+    metrics: Metrics,
+    next_coord: usize,
+    pauses_started: bool,
+}
+
+impl Cluster {
+    /// Build a cluster from a configuration.
+    pub fn new(config: CStoreConfig) -> Self {
+        assert!(config.nodes > 0);
+        assert!(config.replication_factor >= 1);
+        let ring = Ring::new(config.nodes, config.partitioner.clone());
+        let nodes = (0..config.nodes)
+            .map(|_| CNode::new(config.profile, config.lsm))
+            .collect();
+        Self {
+            config,
+            ring,
+            nodes,
+            pending: HashMap::new(),
+            completed: Vec::new(),
+            metrics: Metrics::new(),
+            next_coord: 0,
+            pauses_started: false,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CStoreConfig {
+        &self.config
+    }
+
+    /// The ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Behaviour counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Clusters are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-flight operation count (for drain/quiesce checks).
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Take all completions produced since the last drain.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Direct access to a node (assertions, utilization reports).
+    pub fn node(&self, node: NodeId) -> &CNode {
+        &self.nodes[node.index()]
+    }
+
+    /// Mutable node access (tests and ablations).
+    pub fn node_mut(&mut self, node: NodeId) -> &mut CNode {
+        &mut self.nodes[node.index()]
+    }
+
+    /// Crash a node.
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.nodes[node.index()].hw.fail();
+    }
+
+    /// Recover a node and trigger hint replay everywhere.
+    pub fn recover_node<W: From<Event>>(&mut self, sim: &mut Sim<W>, node: NodeId) {
+        self.nodes[node.index()].hw.recover();
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].hints.is_empty() {
+                sim.schedule_in(
+                    1_000,
+                    W::from(Event::HintReplay {
+                        node: NodeId(i as u32),
+                    }),
+                );
+            }
+        }
+    }
+
+    // ----- functional helpers (no virtual-time accounting) -----
+
+    /// Load a record directly onto all of its replicas; used for bulk load
+    /// phases where per-op event simulation would be pointless.
+    pub fn load_direct(&mut self, key: Key, value: Value, ts: u64) {
+        let reps = self.ring.replicas(&key, self.config.replication_factor);
+        for r in reps {
+            let node = &mut self.nodes[r.index()];
+            node.lsm.put(key.clone(), Cell::live(value.clone(), ts));
+            if node.lsm.memtable_bytes() >= node.lsm.config().memtable_flush_bytes {
+                if let Some(receipt) = node.lsm.flush() {
+                    if receipt.compaction_due {
+                        node.lsm.maybe_compact();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flush every memtable and run ripe compactions (functional; used at
+    /// the end of load phases).
+    pub fn flush_all(&mut self) {
+        for node in &mut self.nodes {
+            node.lsm.flush();
+            node.lsm.compact_all();
+            node.lsm.sync_wal();
+        }
+    }
+
+    /// Warm every node's block cache to steady state (see
+    /// [`storage::LsmTree::warm_cache`]).
+    pub fn warm_caches(&mut self) {
+        for node in &mut self.nodes {
+            node.lsm.warm_cache();
+        }
+    }
+
+    /// Read a key directly from one node's storage (test/diagnostic; does
+    /// touch the node's cache but charges no time).
+    pub fn read_local(&mut self, node: NodeId, key: &[u8]) -> Option<Cell> {
+        self.nodes[node.index()].lsm.get(key).cell
+    }
+
+    // ----- sizing -----
+
+    fn req_bytes(&self, op: &StoreOp) -> u64 {
+        let body = match op {
+            StoreOp::Insert { key, value } | StoreOp::Update { key, value } => {
+                key.len() + value.len()
+            }
+            StoreOp::Read { key } | StoreOp::Delete { key } => key.len(),
+            StoreOp::Scan { start, .. } => start.len(),
+        };
+        self.config.costs.msg_overhead_bytes + body as u64
+    }
+
+    fn cell_bytes(&self, cell: &Option<Cell>) -> u64 {
+        self.config.costs.msg_overhead_bytes + cell.as_ref().map_or(0, Cell::encoded_len)
+    }
+
+    fn rows_bytes(&self, rows: &[(Key, Cell)]) -> u64 {
+        self.config.costs.msg_overhead_bytes
+            + rows
+                .iter()
+                .map(|(k, c)| entry_encoded_len(k, c))
+                .sum::<u64>()
+    }
+
+    // ----- plumbing -----
+
+    fn is_up(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].hw.is_up()
+    }
+
+    fn pick_coordinator(&mut self) -> Option<NodeId> {
+        for _ in 0..self.nodes.len() {
+            let i = self.next_coord % self.nodes.len();
+            self.next_coord = self.next_coord.wrapping_add(1);
+            if self.nodes[i].hw.is_up() {
+                return Some(NodeId(i as u32));
+            }
+        }
+        None
+    }
+
+    /// Sample a service time with the configured mean: exponential when
+    /// `jitter` is 1 (heavy-tailed JVM-era handling), deterministic at 0,
+    /// linear blend in between.
+    fn service<W>(&self, sim: &mut Sim<W>, mean_us: u64) -> u64 {
+        let j = self.config.costs.jitter;
+        if j <= 0.0 || mean_us == 0 {
+            return mean_us;
+        }
+        let u = sim.rng().unit().max(1e-12);
+        let exp = -u.ln() * mean_us as f64;
+        (mean_us as f64 * (1.0 - j) + exp * j).round() as u64
+    }
+
+    /// Move `bytes` from `from` to `to` starting at `start`; returns full
+    /// delivery time. Loopback is free.
+    fn net_to(&mut self, from: NodeId, to: NodeId, bytes: u64, start: SimTime) -> SimTime {
+        if from == to {
+            return start;
+        }
+        let tx = self.nodes[from.index()].hw.nic.tx(start, bytes);
+        let arr = tx + self.config.topology.prop_us(from, to);
+        self.nodes[to.index()].hw.nic.rx(arr, bytes)
+    }
+
+    /// Delivery time of a server→client response sent at `start`.
+    fn client_delivery(&mut self, from: NodeId, bytes: u64, start: SimTime) -> SimTime {
+        let tx = self.nodes[from.index()].hw.nic.tx(start, bytes);
+        tx + self.config.profile.nic.prop_us
+    }
+
+    fn respond<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        token: u64,
+        from: NodeId,
+        start: SimTime,
+        result: OpResult,
+    ) {
+        let bytes = match &result {
+            OpResult::Value(cell) => self.cell_bytes(cell),
+            OpResult::Rows(rows) => self.rows_bytes(rows),
+            _ => self.config.costs.msg_overhead_bytes,
+        };
+        let at = self.client_delivery(from, bytes, start);
+        sim.schedule_at(at, W::from(Event::Deliver { token, result }));
+    }
+
+    // ----- public API -----
+
+    /// Submit a client operation. The completion (with `token`) is emitted
+    /// through [`Cluster::drain_completions`] once the `Deliver` event fires.
+    pub fn submit<W: From<Event>>(&mut self, sim: &mut Sim<W>, token: u64, op: StoreOp) {
+        if !self.pauses_started {
+            self.pauses_started = true;
+            if self.config.pause_interval_us > 0 {
+                for i in 0..self.nodes.len() {
+                    // Stagger first pauses uniformly over one interval.
+                    let delay = sim.rng().below(self.config.pause_interval_us);
+                    sim.schedule_in(
+                        delay,
+                        W::from(Event::GcPause {
+                            node: NodeId(i as u32),
+                        }),
+                    );
+                }
+            }
+        }
+        let Some(coord) = self.pick_coordinator() else {
+            self.completed.push(Completion {
+                token,
+                result: OpResult::Error(OpError::Unavailable),
+            });
+            return;
+        };
+        let bytes = self.req_bytes(&op);
+        let arr = sim.now() + self.config.profile.nic.prop_us;
+        let rx_done = self.nodes[coord.index()].hw.nic.rx(arr, bytes);
+        self.pending.insert(
+            token,
+            Pending {
+                op,
+                coordinator: coord,
+                state: PendingState::Init,
+            },
+        );
+        sim.schedule_at(rx_done, W::from(Event::Arrive { op: token }));
+        sim.schedule_at(rx_done + RPC_TIMEOUT_US, W::from(Event::Timeout { op: token }));
+    }
+
+    /// Dispatch one internal event.
+    pub fn handle<W: From<Event>>(&mut self, sim: &mut Sim<W>, ev: Event) {
+        match ev {
+            Event::Arrive { op } => self.on_arrive(sim, op),
+            Event::ReplicaWrite {
+                op,
+                node,
+                key,
+                cell,
+                ack,
+            } => self.on_replica_write(sim, op, node, key, cell, ack),
+            Event::WriteApplied {
+                op,
+                node,
+                key,
+                cell,
+                ack,
+            } => self.on_write_applied(sim, op, node, key, cell, ack),
+            Event::WriteAck { op } => self.on_write_ack(sim, op),
+            Event::ReplicaRead { op, node, key } => self.on_replica_read(sim, op, node, key),
+            Event::ReadReturn { op, node, cell } => self.on_read_return(sim, op, node, cell),
+            Event::ReplicaScan {
+                op,
+                node,
+                start,
+                limit,
+                clamp,
+                count,
+            } => self.on_replica_scan(sim, op, node, start, limit, clamp, count),
+            Event::ScanReturn {
+                op,
+                node,
+                rows,
+                exhausted,
+            } => self.on_scan_return(sim, op, node, rows, exhausted),
+            Event::Deliver { token, result } => {
+                self.completed.push(Completion { token, result });
+            }
+            Event::Timeout { op } => self.on_timeout(sim, op),
+            Event::HintReplay { node } => self.on_hint_replay(sim, node),
+            Event::BgIo { node } => self.on_bg_io(sim, node),
+            Event::GcPause { node } => self.on_gc_pause(sim, node),
+        }
+    }
+
+    /// A stop-the-world pause: every core on the node is blocked for the
+    /// configured duration, then the next pause is scheduled with ±25%
+    /// jitter. This is the straggler source that makes high ack counts
+    /// expensive — the paper's "write overhead becomes heavier when using a
+    /// higher consistency level".
+    fn on_gc_pause<W: From<Event>>(&mut self, sim: &mut Sim<W>, node: NodeId) {
+        let dur = self.config.pause_duration_us;
+        let interval = self.config.pause_interval_us;
+        if dur == 0 || interval == 0 {
+            return;
+        }
+        // Pauses model allocation-pressure GC: they run only while the
+        // cluster has work. Going quiet lets the simulation quiesce; the
+        // next submit restarts the pause schedule.
+        if self.pending.is_empty() {
+            self.pauses_started = false;
+            return;
+        }
+        {
+            let n = &mut self.nodes[node.index()];
+            if n.hw.is_up() {
+                self.metrics.gc_pauses += 1;
+                let now = sim.now();
+                for _ in 0..n.hw.cpu.servers() {
+                    n.hw.cpu.acquire(now, dur);
+                }
+            }
+        }
+        let jitter = interval / 2 + sim.rng().below(interval);
+        sim.schedule_in(dur + jitter, W::from(Event::GcPause { node }));
+    }
+
+    /// One background-I/O chunk size (64 KiB keeps foreground reads able to
+    /// interleave between chunks on the FIFO disk).
+    const BG_CHUNK: u64 = 64 * 1024;
+
+    /// Start draining a node's background backlog if not already draining.
+    fn kick_bg_io<W: From<Event>>(&mut self, sim: &mut Sim<W>, node: NodeId) {
+        let n = &mut self.nodes[node.index()];
+        if n.bg_backlog > 0 && !n.bg_active {
+            n.bg_active = true;
+            sim.schedule_in(0, W::from(Event::BgIo { node }));
+        }
+    }
+
+    fn on_bg_io<W: From<Event>>(&mut self, sim: &mut Sim<W>, node: NodeId) {
+        let rate = self.config.bg_io_rate;
+        let n = &mut self.nodes[node.index()];
+        if n.bg_backlog == 0 {
+            n.bg_active = false;
+            return;
+        }
+        let chunk = n.bg_backlog.min(Self::BG_CHUNK);
+        n.bg_backlog -= chunk;
+        n.hw.disk.seq_write(sim.now(), chunk);
+        if n.bg_backlog > 0 {
+            // Pace chunks so the throttle's long-run rate is `bg_io_rate`.
+            let interval = simkit::time::transfer_time(chunk, rate);
+            sim.schedule_in(interval, W::from(Event::BgIo { node }));
+        } else {
+            n.bg_active = false;
+        }
+    }
+
+    // ----- coordinator: arrival -----
+
+    fn on_arrive<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: u64) {
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
+        let coord = p.coordinator;
+        let kind = p.op.clone();
+        if !self.is_up(coord) {
+            // Coordinator died since submit.
+            self.pending.remove(&op);
+            self.completed.push(Completion {
+                token: op,
+                result: OpResult::Error(OpError::Unavailable),
+            });
+            return;
+        }
+        let t1 = self.nodes[coord.index()]
+            .hw
+            .cpu
+            .acquire(sim.now(), self.config.costs.coord_us);
+        match kind {
+            StoreOp::Insert { key, value } | StoreOp::Update { key, value } => {
+                self.start_write(sim, op, coord, key, Cell::live(value, t1), t1);
+            }
+            StoreOp::Delete { key } => {
+                self.start_write(sim, op, coord, key, Cell::tombstone(t1), t1);
+            }
+            StoreOp::Read { key } => {
+                self.start_read(sim, op, coord, key, t1);
+            }
+            StoreOp::Scan { start, limit } => {
+                self.start_scan(sim, op, coord, start, limit, t1);
+            }
+        }
+    }
+
+    fn start_write<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        op: u64,
+        coord: NodeId,
+        key: Key,
+        cell: Cell,
+        t1: SimTime,
+    ) {
+        self.metrics.writes += 1;
+        let rf = self.config.replication_factor;
+        let needed = self.config.write_cl.required(rf);
+        let replicas = self.ring.replicas(&key, rf);
+        let (live, dead): (Vec<NodeId>, Vec<NodeId>) =
+            replicas.into_iter().partition(|&r| self.is_up(r));
+        if (live.len() as u32) < needed {
+            self.metrics.unavailable += 1;
+            self.pending.remove(&op);
+            self.respond(sim, op, coord, t1, OpResult::Error(OpError::Unavailable));
+            return;
+        }
+        if self.config.hinted_handoff {
+            for target in dead {
+                self.metrics.hints_stored += 1;
+                self.nodes[coord.index()].hints.push(Hint {
+                    target,
+                    key: key.clone(),
+                    cell: cell.clone(),
+                });
+            }
+        }
+        let bytes =
+            self.config.costs.msg_overhead_bytes + entry_encoded_len(&key, &cell);
+        let expected = live.len() as u32;
+        for r in live {
+            let arr = self.net_to(coord, r, bytes, t1);
+            sim.schedule_at(
+                arr,
+                W::from(Event::ReplicaWrite {
+                    op,
+                    node: r,
+                    key: key.clone(),
+                    cell: cell.clone(),
+                    ack: true,
+                }),
+            );
+        }
+        if let Some(p) = self.pending.get_mut(&op) {
+            p.state = PendingState::Write(WriteState {
+                needed,
+                expected,
+                acks: 0,
+                responded: false,
+                ts: cell.ts,
+            });
+        }
+    }
+
+    fn start_read<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        op: u64,
+        coord: NodeId,
+        key: Key,
+        t1: SimTime,
+    ) {
+        self.metrics.reads += 1;
+        let rf = self.config.replication_factor;
+        let needed = self.config.read_cl.required(rf);
+        // Ring order starting at the main replica — the paper's "fixed
+        // order" replica selection.
+        let live: Vec<NodeId> = self
+            .ring
+            .replicas(&key, rf)
+            .into_iter()
+            .filter(|&r| self.is_up(r))
+            .collect();
+        if (live.len() as u32) < needed {
+            self.metrics.unavailable += 1;
+            self.pending.remove(&op);
+            self.respond(sim, op, coord, t1, OpResult::Error(OpError::Unavailable));
+            return;
+        }
+        let fanout = live.len() as u32 > needed
+            && sim.rng().chance(self.config.read_repair_chance);
+        if fanout {
+            self.metrics.repair_fanouts += 1;
+        }
+        let targets: Vec<NodeId> = if fanout {
+            live
+        } else {
+            live[..needed as usize].to_vec()
+        };
+        let bytes = self.config.costs.msg_overhead_bytes + key.len() as u64;
+        let expected = targets.len() as u32;
+        for r in targets {
+            let arr = self.net_to(coord, r, bytes, t1);
+            sim.schedule_at(
+                arr,
+                W::from(Event::ReplicaRead {
+                    op,
+                    node: r,
+                    key: key.clone(),
+                }),
+            );
+        }
+        if let Some(p) = self.pending.get_mut(&op) {
+            p.state = PendingState::Read(ReadState {
+                needed,
+                expected,
+                responded: false,
+                fanout,
+                results: Vec::with_capacity(expected as usize),
+            });
+        }
+    }
+
+    fn start_scan<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        op: u64,
+        coord: NodeId,
+        start: Key,
+        limit: usize,
+        t1: SimTime,
+    ) {
+        self.metrics.scans += 1;
+        let p_idx = self.ring.primary(&start);
+        if let Some(p) = self.pending.get_mut(&op) {
+            p.state = PendingState::Scan(ScanState {
+                limit,
+                needed_this_round: 0,
+                received_this_round: 0,
+                partials: Vec::new(),
+                collected: Vec::new(),
+                current_primary: p_idx,
+                rounds: 0,
+                responded: false,
+            });
+        }
+        self.send_scan_round(sim, op, coord, p_idx, start, limit, t1);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_scan_round<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        op: u64,
+        coord: NodeId,
+        primary: usize,
+        start: Key,
+        limit: usize,
+        t1: SimTime,
+    ) {
+        let rf = self.config.replication_factor;
+        let needed = self.config.read_cl.required(rf);
+        let n = self.nodes.len();
+        let live: Vec<NodeId> = (0..(rf as usize).min(n))
+            .map(|i| NodeId(((primary + i) % n) as u32))
+            .filter(|&r| self.is_up(r))
+            .collect();
+        if (live.len() as u32) < needed {
+            self.metrics.unavailable += 1;
+            self.pending.remove(&op);
+            self.respond(sim, op, coord, t1, OpResult::Error(OpError::Unavailable));
+            return;
+        }
+        // Range reads participate in read repair too (Cassandra's range
+        // slice resolver): with the configured chance the round queries
+        // every live replica of the range and reconciles across all of
+        // them — this is what couples scan cost to the replication factor.
+        let fanout = live.len() as u32 > needed
+            && sim.rng().chance(self.config.read_repair_chance);
+        if fanout {
+            self.metrics.repair_fanouts += 1;
+        }
+        let probed = if fanout { live.len() } else { needed as usize };
+        let clamp = self.ring.range_end(primary).cloned();
+        let bytes = self.config.costs.msg_overhead_bytes + start.len() as u64;
+        for (i, &r) in live[..probed].iter().enumerate() {
+            let arr = self.net_to(coord, r, bytes, t1);
+            sim.schedule_at(
+                arr,
+                W::from(Event::ReplicaScan {
+                    op,
+                    node: r,
+                    start: start.clone(),
+                    limit,
+                    clamp: clamp.clone(),
+                    // Repair probes beyond the consistency quota add load
+                    // (that is their cost) but never gate the response.
+                    count: i < needed as usize,
+                }),
+            );
+        }
+        if let Some(p) = self.pending.get_mut(&op) {
+            if let PendingState::Scan(s) = &mut p.state {
+                s.needed_this_round = needed;
+                s.received_this_round = 0;
+                s.partials.clear();
+            }
+        }
+    }
+
+    // ----- replica side -----
+
+    fn on_replica_write<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        op: u64,
+        node: NodeId,
+        key: Key,
+        cell: Cell,
+        ack: bool,
+    ) {
+        if !self.is_up(node) {
+            return;
+        }
+        let costs = self.config.costs;
+        let service = self.service(sim, costs.replica_write_us);
+        let n = &mut self.nodes[node.index()];
+        let mut t1 = n.hw.cpu.acquire(sim.now(), service);
+        let wal_bytes = entry_encoded_len(&key, &cell) + 8;
+        match self.config.commitlog_sync {
+            CommitlogSync::Periodic => {
+                // Background bandwidth; the ack does not wait.
+                n.hw.disk.seq_write(t1, wal_bytes);
+            }
+            CommitlogSync::PerWrite => {
+                t1 = n.hw.disk.random_write(t1, wal_bytes);
+            }
+        }
+        sim.schedule_at(
+            t1,
+            W::from(Event::WriteApplied {
+                op,
+                node,
+                key,
+                cell,
+                ack,
+            }),
+        );
+    }
+
+    fn on_write_applied<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        op: u64,
+        node: NodeId,
+        key: Key,
+        cell: Cell,
+        ack: bool,
+    ) {
+        if !self.is_up(node) {
+            return;
+        }
+        let now = sim.now();
+        {
+            let n = &mut self.nodes[node.index()];
+            n.lsm.put(key, cell);
+            let (f, c) = n.maintain(now);
+            self.metrics.flushes += u64::from(f);
+            self.metrics.compactions += u64::from(c);
+        }
+        self.kick_bg_io(sim, node);
+        if !ack {
+            return;
+        }
+        let Some(p) = self.pending.get(&op) else {
+            return; // op already answered/timed out; the write still counts
+        };
+        let coord = p.coordinator;
+        let bytes = self.config.costs.msg_overhead_bytes;
+        let arr = self.net_to(node, coord, bytes, now);
+        sim.schedule_at(arr, W::from(Event::WriteAck { op }));
+    }
+
+    fn on_write_ack<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: u64) {
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
+        let coord = p.coordinator;
+        let t1 = self.nodes[coord.index()]
+            .hw
+            .cpu
+            .acquire(sim.now(), self.config.costs.reconcile_us);
+        let (respond_now, done, ts) = {
+            let Some(p) = self.pending.get_mut(&op) else {
+                return;
+            };
+            let PendingState::Write(w) = &mut p.state else {
+                return;
+            };
+            w.acks += 1;
+            let respond_now = !w.responded && w.acks >= w.needed;
+            if respond_now {
+                w.responded = true;
+            }
+            (respond_now, w.acks >= w.expected, w.ts)
+        };
+        if respond_now {
+            self.respond(sim, op, coord, t1, OpResult::Written { ts });
+        }
+        if done {
+            self.pending.remove(&op);
+        }
+    }
+
+    fn on_replica_read<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        op: u64,
+        node: NodeId,
+        key: Key,
+    ) {
+        if !self.is_up(node) {
+            return;
+        }
+        let costs = self.config.costs;
+        let service = self.service(sim, costs.replica_read_us);
+        let (cell, t2) = {
+            let n = &mut self.nodes[node.index()];
+            let t1 = n.hw.cpu.acquire(sim.now(), service);
+            let res = n.lsm.get(&key);
+            let t2 = n.charge_io_plan(t1, &res.io);
+            (res.cell, t2)
+        };
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
+        let coord = p.coordinator;
+        let bytes = self.cell_bytes(&cell);
+        let arr = self.net_to(node, coord, bytes, t2);
+        sim.schedule_at(arr, W::from(Event::ReadReturn { op, node, cell }));
+    }
+
+    fn on_read_return<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        op: u64,
+        node: NodeId,
+        cell: Option<Cell>,
+    ) {
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
+        let coord = p.coordinator;
+        let key = p.op.key().clone();
+        let t1 = self.nodes[coord.index()]
+            .hw
+            .cpu
+            .acquire(sim.now(), self.config.costs.reconcile_us);
+        let (respond_now, winner_for_client, finished, repairs) = {
+            let Some(p) = self.pending.get_mut(&op) else {
+                return;
+            };
+            let PendingState::Read(r) = &mut p.state else {
+                return;
+            };
+            r.results.push((node, cell));
+            let received = r.results.len() as u32;
+            let mut respond_now = false;
+            let mut winner_for_client = None;
+            // A repair fan-out blocks the response until every contacted
+            // replica answers (Cassandra 2.0's ReadCallback raises blockfor
+            // when read repair is active); otherwise the consistency quota
+            // releases the client.
+            let release_at = if r.fanout { r.expected } else { r.needed };
+            if !r.responded && received >= release_at {
+                r.responded = true;
+                respond_now = true;
+                winner_for_client = reconcile(r.results.iter().map(|(_, c)| c.clone()));
+            }
+            let finished = received >= r.expected;
+            let mut repairs = Vec::new();
+            if finished {
+                let winner = reconcile(r.results.iter().map(|(_, c)| c.clone()));
+                if let Some(w) = &winner {
+                    for (n, c) in &r.results {
+                        let stale = c.as_ref().is_none_or(|c| {
+                            c.ts < w.ts || (c.ts == w.ts && c != w)
+                        });
+                        if stale {
+                            repairs.push(*n);
+                        }
+                    }
+                }
+                // Mismatch within the answering quota = a digest mismatch.
+                let quota = &r.results[..r.needed.min(received) as usize];
+                if quota
+                    .windows(2)
+                    .any(|w| cell_version(&w[0].1) != cell_version(&w[1].1))
+                {
+                    self.metrics.digest_mismatches += 1;
+                }
+                if !repairs.is_empty() {
+                    // Count exactly once per read that repaired something.
+                    self.metrics.repair_writes += repairs.len() as u64;
+                }
+                (respond_now, winner_for_client, true, {
+                    let w = winner;
+                    repairs
+                        .into_iter()
+                        .map(|n| (n, w.clone().expect("winner exists if repairs do")))
+                        .collect::<Vec<_>>()
+                })
+            } else {
+                (respond_now, winner_for_client, false, Vec::new())
+            }
+        };
+        if respond_now {
+            let client_cell = winner_for_client.filter(|c| !c.is_tombstone());
+            // Blocked repair: if this response closes a fan-out that found
+            // stale replicas, the client also waits for the repair
+            // mutations to be acknowledged (one extra write round trip).
+            let respond_at = if !repairs.is_empty() {
+                t1 + 2 * self.config.profile.nic.prop_us + self.config.costs.replica_write_us
+            } else {
+                t1
+            };
+            self.respond(sim, op, coord, respond_at, OpResult::Value(client_cell));
+        }
+        if finished {
+            for (target, cell) in repairs {
+                let bytes =
+                    self.config.costs.msg_overhead_bytes + entry_encoded_len(&key, &cell);
+                let arr = self.net_to(coord, target, bytes, t1);
+                sim.schedule_at(
+                    arr,
+                    W::from(Event::ReplicaWrite {
+                        op: 0,
+                        node: target,
+                        key: key.clone(),
+                        cell,
+                        ack: false,
+                    }),
+                );
+            }
+            self.pending.remove(&op);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_replica_scan<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        op: u64,
+        node: NodeId,
+        start: Key,
+        limit: usize,
+        clamp: Option<Key>,
+        count: bool,
+    ) {
+        if !self.is_up(node) {
+            return;
+        }
+        let costs = self.config.costs;
+        let service = self.service(sim, costs.replica_read_us);
+        let (rows, exhausted, t3) = {
+            let n = &mut self.nodes[node.index()];
+            let t1 = n.hw.cpu.acquire(sim.now(), service);
+            let res = n.lsm.scan(&start, limit);
+            let t2 = n.charge_io_plan(t1, &res.io);
+            let mut rows = res.rows;
+            if let Some(end) = &clamp {
+                rows.retain(|(k, _)| k < end);
+            }
+            let exhausted = rows.len() < limit;
+            let t3 = n
+                .hw
+                .cpu
+                .acquire(t2, costs.scan_row_us * rows.len() as u64);
+            (rows, exhausted, t3)
+        };
+        if !count {
+            return; // repair probe: the load was the point
+        }
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
+        let coord = p.coordinator;
+        let bytes = self.rows_bytes(&rows);
+        let arr = self.net_to(node, coord, bytes, t3);
+        sim.schedule_at(
+            arr,
+            W::from(Event::ScanReturn {
+                op,
+                node,
+                rows,
+                exhausted,
+            }),
+        );
+    }
+
+    fn on_scan_return<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        op: u64,
+        _node: NodeId,
+        rows: Vec<(Key, Cell)>,
+        _exhausted: bool,
+    ) {
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
+        let coord = p.coordinator;
+        let t1 = self.nodes[coord.index()]
+            .hw
+            .cpu
+            .acquire(sim.now(), self.config.costs.reconcile_us);
+        enum Next {
+            Wait,
+            Respond(Vec<(Key, Cell)>),
+            Continue { primary: usize, start: Key, remaining: usize },
+        }
+        let next = {
+            let Some(p) = self.pending.get_mut(&op) else {
+                return;
+            };
+            let PendingState::Scan(s) = &mut p.state else {
+                return;
+            };
+            s.partials.push(rows);
+            s.received_this_round += 1;
+            if s.received_this_round < s.needed_this_round {
+                Next::Wait
+            } else {
+                // Round complete: reconcile this range across its replicas.
+                let sources = std::mem::take(&mut s.partials);
+                let merged = storage::merge::merge_entries(sources, false);
+                for (k, c) in merged {
+                    if s.collected.len() >= s.limit {
+                        break;
+                    }
+                    if !c.is_tombstone() {
+                        s.collected.push((k, c));
+                    }
+                }
+                let more_ranges = s.collected.len() < s.limit
+                    && s.rounds + 1 < self.ring.len() as u32
+                    && self.ring.range_end(s.current_primary).is_some();
+                if more_ranges {
+                    let nextp = self.ring.successor(s.current_primary);
+                    s.current_primary = nextp;
+                    s.rounds += 1;
+                    let start = self
+                        .ring
+                        .range_start(nextp)
+                        .expect("ordered ring has tokens")
+                        .clone();
+                    Next::Continue {
+                        primary: nextp,
+                        start,
+                        remaining: s.limit - s.collected.len(),
+                    }
+                } else {
+                    s.responded = true;
+                    Next::Respond(std::mem::take(&mut s.collected))
+                }
+            }
+        };
+        match next {
+            Next::Wait => {}
+            Next::Respond(rows) => {
+                self.pending.remove(&op);
+                self.respond(sim, op, coord, t1, OpResult::Rows(rows));
+            }
+            Next::Continue {
+                primary,
+                start,
+                remaining,
+            } => {
+                self.send_scan_round(sim, op, coord, primary, start, remaining, t1);
+            }
+        }
+    }
+
+    fn on_timeout<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: u64) {
+        let Some(p) = self.pending.remove(&op) else {
+            return;
+        };
+        let responded = match &p.state {
+            PendingState::Init => false,
+            PendingState::Write(w) => w.responded,
+            PendingState::Read(r) => r.responded,
+            PendingState::Scan(s) => s.responded,
+        };
+        if !responded {
+            self.metrics.timeouts += 1;
+            let at = sim.now() + self.config.profile.nic.prop_us;
+            sim.schedule_at(
+                at,
+                W::from(Event::Deliver {
+                    token: op,
+                    result: OpResult::Error(OpError::Unavailable),
+                }),
+            );
+        }
+    }
+
+    fn on_hint_replay<W: From<Event>>(&mut self, sim: &mut Sim<W>, node: NodeId) {
+        if !self.is_up(node) {
+            return;
+        }
+        let mut kept = Vec::new();
+        let hints = std::mem::take(&mut self.nodes[node.index()].hints);
+        let mut t = self.nodes[node.index()]
+            .hw
+            .cpu
+            .acquire(sim.now(), self.config.costs.coord_us);
+        for hint in hints {
+            if self.is_up(hint.target) {
+                self.metrics.hints_replayed += 1;
+                let bytes = self.config.costs.msg_overhead_bytes
+                    + entry_encoded_len(&hint.key, &hint.cell);
+                let arr = self.net_to(node, hint.target, bytes, t);
+                t += 10; // pace hint delivery slightly
+                sim.schedule_at(
+                    arr,
+                    W::from(Event::ReplicaWrite {
+                        op: 0,
+                        node: hint.target,
+                        key: hint.key,
+                        cell: hint.cell,
+                        ack: false,
+                    }),
+                );
+            } else {
+                kept.push(hint);
+            }
+        }
+        self.nodes[node.index()].hints = kept;
+    }
+}
+
+fn cell_version(c: &Option<Cell>) -> u64 {
+    c.as_ref().map_or(0, |c| c.ts)
+}
+
+/// Fold versions with last-write-wins; `None`s contribute nothing.
+fn reconcile(cells: impl Iterator<Item = Option<Cell>>) -> Option<Cell> {
+    cells
+        .flatten()
+        .reduce(Cell::reconcile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Consistency;
+    use crate::ring::Partitioner;
+    use bytes::Bytes;
+
+    /// Wrapper event type exercising the `W: From<Event>` plumbing the same
+    /// way the real driver does.
+    #[derive(Debug, Clone)]
+    enum Ev {
+        Store(Event),
+    }
+    impl From<Event> for Ev {
+        fn from(e: Event) -> Self {
+            Ev::Store(e)
+        }
+    }
+
+    fn k(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn key(i: u64) -> Bytes {
+        Bytes::from(format!("user{i:012}").into_bytes())
+    }
+
+    fn ordered_config(rf: u32, nodes: usize, records: u64) -> CStoreConfig {
+        let tokens: Vec<Bytes> = (0..nodes as u64)
+            .map(|i| key(i * records / nodes as u64))
+            .collect();
+        let mut c = CStoreConfig::paper_testbed(rf, Partitioner::order_preserving(tokens));
+        c.nodes = nodes;
+        c.topology = simkit::Topology::single_rack(nodes, c.profile.nic.prop_us);
+        c
+    }
+
+    struct Harness {
+        cluster: Cluster,
+        sim: Sim<Ev>,
+        next_token: u64,
+    }
+
+    impl Harness {
+        fn new(config: CStoreConfig) -> Self {
+            Self {
+                cluster: Cluster::new(config),
+                sim: Sim::new(42),
+                next_token: 1,
+            }
+        }
+
+        fn submit(&mut self, op: StoreOp) -> u64 {
+            let t = self.next_token;
+            self.next_token += 1;
+            self.cluster.submit(&mut self.sim, t, op);
+            t
+        }
+
+        /// Run to quiescence, returning all completions.
+        fn run(&mut self) -> Vec<Completion> {
+            let mut out = Vec::new();
+            while let Some(Ev::Store(ev)) = self.sim.next() {
+                self.cluster.handle(&mut self.sim, ev);
+                out.extend(self.cluster.drain_completions());
+            }
+            out
+        }
+
+        fn run_one(&mut self, op: StoreOp) -> Completion {
+            let t = self.submit(op);
+            let out = self.run();
+            out.into_iter().find(|c| c.token == t).expect("completed")
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut h = Harness::new(ordered_config(3, 5, 1000));
+        let w = h.run_one(StoreOp::Insert {
+            key: key(10),
+            value: k("hello"),
+        });
+        assert!(matches!(w.result, OpResult::Written { .. }));
+        let r = h.run_one(StoreOp::Read { key: key(10) });
+        match r.result {
+            OpResult::Value(Some(cell)) => {
+                assert_eq!(cell.value.as_deref(), Some(&b"hello"[..]));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_of_absent_key_is_none() {
+        let mut h = Harness::new(ordered_config(3, 5, 1000));
+        let r = h.run_one(StoreOp::Read { key: key(123) });
+        assert_eq!(r.result, OpResult::Value(None));
+    }
+
+    #[test]
+    fn delete_hides_value() {
+        let mut h = Harness::new(ordered_config(3, 5, 1000));
+        h.run_one(StoreOp::Insert {
+            key: key(5),
+            value: k("v"),
+        });
+        h.run_one(StoreOp::Delete { key: key(5) });
+        let r = h.run_one(StoreOp::Read { key: key(5) });
+        assert_eq!(r.result, OpResult::Value(None));
+    }
+
+    #[test]
+    fn writes_reach_every_replica_regardless_of_level() {
+        // "Writes are sent to all replicas; the level only gates the ack."
+        let mut cfg = ordered_config(3, 5, 1000);
+        cfg.write_cl = Consistency::One;
+        let mut h = Harness::new(cfg);
+        h.run_one(StoreOp::Insert {
+            key: key(100),
+            value: k("x"),
+        });
+        let replicas = h.cluster.ring().replicas(&key(100), 3);
+        for r in replicas {
+            let cell = h.cluster.read_local(r, &key(100)).expect("replica has it");
+            assert_eq!(cell.value.as_deref(), Some(&b"x"[..]));
+        }
+    }
+
+    #[test]
+    fn quorum_read_sees_quorum_write() {
+        let mut cfg = ordered_config(3, 5, 1000);
+        cfg.write_cl = Consistency::Quorum;
+        cfg.read_cl = Consistency::Quorum;
+        let mut h = Harness::new(cfg);
+        for i in 0..50u64 {
+            h.run_one(StoreOp::Update {
+                key: key(i % 7),
+                value: Bytes::from(format!("v{i}").into_bytes()),
+            });
+            let r = h.run_one(StoreOp::Read { key: key(i % 7) });
+            match r.result {
+                OpResult::Value(Some(cell)) => {
+                    assert_eq!(
+                        cell.value.as_deref(),
+                        Some(format!("v{i}").as_bytes()),
+                        "read-your-writes violated at i={i}"
+                    );
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scan_returns_ordered_rows_across_ranges() {
+        let mut h = Harness::new(ordered_config(2, 4, 100));
+        for i in 0..100u64 {
+            h.run_one(StoreOp::Insert {
+                key: key(i),
+                value: k("v"),
+            });
+        }
+        let r = h.run_one(StoreOp::Scan {
+            start: key(20),
+            limit: 40,
+        });
+        match r.result {
+            OpResult::Rows(rows) => {
+                assert_eq!(rows.len(), 40, "spans range boundaries");
+                let keys: Vec<_> = rows.iter().map(|(k, _)| k.clone()).collect();
+                assert_eq!(keys[0], key(20));
+                assert_eq!(keys[39], key(59));
+                let mut sorted = keys.clone();
+                sorted.sort();
+                assert_eq!(keys, sorted);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_stops_at_data_end() {
+        let mut h = Harness::new(ordered_config(2, 4, 100));
+        for i in 0..30u64 {
+            h.run_one(StoreOp::Insert {
+                key: key(i),
+                value: k("v"),
+            });
+        }
+        let r = h.run_one(StoreOp::Scan {
+            start: key(25),
+            limit: 50,
+        });
+        match r.result {
+            OpResult::Rows(rows) => assert_eq!(rows.len(), 5),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unavailable_when_too_few_replicas_up() {
+        let mut cfg = ordered_config(3, 5, 1000);
+        cfg.write_cl = Consistency::All;
+        let mut h = Harness::new(cfg);
+        let reps = h.cluster.ring().replicas(&key(0), 3);
+        h.cluster.fail_node(reps[2]);
+        let w = h.run_one(StoreOp::Insert {
+            key: key(0),
+            value: k("x"),
+        });
+        assert_eq!(w.result, OpResult::Error(OpError::Unavailable));
+        assert_eq!(h.cluster.metrics().unavailable, 1);
+    }
+
+    #[test]
+    fn cl_one_survives_replica_failures() {
+        let mut h = Harness::new(ordered_config(3, 5, 1000));
+        let reps = h.cluster.ring().replicas(&key(0), 3);
+        h.cluster.fail_node(reps[1]);
+        h.cluster.fail_node(reps[2]);
+        let w = h.run_one(StoreOp::Insert {
+            key: key(0),
+            value: k("x"),
+        });
+        assert!(matches!(w.result, OpResult::Written { .. }));
+        let r = h.run_one(StoreOp::Read { key: key(0) });
+        assert!(matches!(r.result, OpResult::Value(Some(_))));
+    }
+
+    #[test]
+    fn hinted_handoff_catches_up_failed_replica() {
+        let mut h = Harness::new(ordered_config(3, 5, 1000));
+        let reps = h.cluster.ring().replicas(&key(0), 3);
+        let victim = reps[2];
+        h.cluster.fail_node(victim);
+        h.run_one(StoreOp::Insert {
+            key: key(0),
+            value: k("fresh"),
+        });
+        assert!(h.cluster.metrics().hints_stored >= 1);
+        assert!(h.cluster.read_local(victim, &key(0)).is_none());
+        // Recover: hints replay.
+        let mut sim_ref = std::mem::replace(&mut h.sim, Sim::new(0));
+        h.cluster.recover_node(&mut sim_ref, victim);
+        h.sim = sim_ref;
+        h.run();
+        assert!(h.cluster.metrics().hints_replayed >= 1);
+        let cell = h.cluster.read_local(victim, &key(0)).expect("hint applied");
+        assert_eq!(cell.value.as_deref(), Some(&b"fresh"[..]));
+    }
+
+    /// Make one replica of `key(0)` stale for real: fail it, overwrite at
+    /// CL=ONE with hinted handoff off, recover it. Returns the stale node.
+    fn make_stale_replica(h: &mut Harness, stale_idx: usize, val: &str) -> NodeId {
+        let reps = h.cluster.ring().replicas(&key(0), 3);
+        let victim = reps[stale_idx];
+        h.cluster.fail_node(victim);
+        h.run_one(StoreOp::Update {
+            key: key(0),
+            value: k(val),
+        });
+        h.cluster.node_mut(victim).hw.recover();
+        victim
+    }
+
+    #[test]
+    fn read_repair_fanout_fixes_stale_replica() {
+        let mut cfg = ordered_config(3, 5, 1000);
+        cfg.read_repair_chance = 1.0; // always fan out
+        cfg.hinted_handoff = false;
+        let mut h = Harness::new(cfg);
+        h.run_one(StoreOp::Insert {
+            key: key(0),
+            value: k("old"),
+        });
+        let stale_node = make_stale_replica(&mut h, 2, "new");
+        assert_eq!(
+            h.cluster.read_local(stale_node, &key(0)).unwrap().value.as_deref(),
+            Some(&b"old"[..]),
+            "replica missed the overwrite while down"
+        );
+        // A read triggers fan-out repair. At CL=ONE the client may still see
+        // either version (whichever replica answers first) — that is the
+        // consistency the level promises — but the repair must converge.
+        let r = h.run_one(StoreOp::Read { key: key(0) });
+        assert!(matches!(r.result, OpResult::Value(Some(_))));
+        assert!(h.cluster.metrics().repair_fanouts >= 1);
+        assert!(h.cluster.metrics().repair_writes >= 1);
+        let repaired = h.cluster.read_local(stale_node, &key(0)).unwrap();
+        assert_eq!(repaired.value.as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn no_repair_without_fanout_at_cl_one() {
+        let mut cfg = ordered_config(3, 5, 1000);
+        cfg.read_repair_chance = 0.0;
+        cfg.hinted_handoff = false;
+        let mut h = Harness::new(cfg);
+        h.run_one(StoreOp::Insert {
+            key: key(0),
+            value: k("old"),
+        });
+        let stale_node = make_stale_replica(&mut h, 2, "new");
+        h.run_one(StoreOp::Read { key: key(0) });
+        assert_eq!(h.cluster.metrics().repair_fanouts, 0);
+        assert_eq!(h.cluster.metrics().repair_writes, 0);
+        // The stale replica stays stale (eventual consistency at ONE).
+        let still = h.cluster.read_local(stale_node, &key(0)).unwrap();
+        assert_eq!(still.value.as_deref(), Some(&b"old"[..]));
+    }
+
+    #[test]
+    fn quorum_read_repairs_foreground_mismatch() {
+        let mut cfg = ordered_config(3, 5, 1000);
+        cfg.read_cl = Consistency::Quorum;
+        cfg.read_repair_chance = 0.0;
+        cfg.hinted_handoff = false;
+        let mut h = Harness::new(cfg);
+        h.run_one(StoreOp::Insert {
+            key: key(0),
+            value: k("old"),
+        });
+        // Regress the *main* replica, which always participates in reads.
+        let stale_node = make_stale_replica(&mut h, 0, "new");
+        let r = h.run_one(StoreOp::Read { key: key(0) });
+        match r.result {
+            OpResult::Value(Some(cell)) => {
+                assert_eq!(cell.value.as_deref(), Some(&b"new"[..]), "quorum reconciles");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(h.cluster.metrics().digest_mismatches >= 1);
+        // Foreground mismatch repaired the quota member.
+        let repaired = h.cluster.read_local(stale_node, &key(0)).unwrap();
+        assert_eq!(repaired.value.as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn latency_orders_one_quorum_all() {
+        // Write latency must rise with the consistency level.
+        let mut lat = Vec::new();
+        for cl in [Consistency::One, Consistency::Quorum, Consistency::All] {
+            let mut cfg = ordered_config(3, 5, 1000);
+            cfg.write_cl = cl;
+            let mut h = Harness::new(cfg);
+            let issue = h.sim.now();
+            let t = h.submit(StoreOp::Insert {
+                key: key(0),
+                value: k("x"),
+            });
+            let mut done_at = 0;
+            while let Some(Ev::Store(ev)) = h.sim.next() {
+                h.cluster.handle(&mut h.sim, ev);
+                if h.cluster
+                    .drain_completions()
+                    .iter()
+                    .any(|c| c.token == t)
+                {
+                    done_at = h.sim.now();
+                }
+            }
+            lat.push(done_at - issue);
+        }
+        assert!(lat[0] <= lat[1] && lat[1] <= lat[2], "latencies: {lat:?}");
+        assert!(lat[2] > lat[0], "ALL must cost more than ONE: {lat:?}");
+    }
+
+
+    #[test]
+    fn gc_pause_delays_all_writes_but_not_one() {
+        // Inject a pause on one replica, then measure a CL=ALL write vs a
+        // CL=ONE write issued during the pause window.
+        let mut lat = Vec::new();
+        for cl in [Consistency::One, Consistency::All] {
+            let mut cfg = ordered_config(3, 5, 1000);
+            cfg.write_cl = cl;
+            cfg.pause_interval_us = 0; // no random pauses; we inject one
+            cfg.pause_duration_us = 0;
+            let mut h = Harness::new(cfg);
+            // Warm the path so coordinator rotation is identical.
+            h.run_one(StoreOp::Insert { key: key(1), value: k("x") });
+            let reps = h.cluster.ring().replicas(&key(0), 3);
+            // Manually pause the third replica for 50ms.
+            let now = h.sim.now();
+            let node = &mut h.cluster.nodes[reps[2].index()];
+            for _ in 0..node.hw.cpu.servers() {
+                node.hw.cpu.acquire(now, 50_000);
+            }
+            let issue = h.sim.now();
+            let t = h.submit(StoreOp::Insert { key: key(0), value: k("y") });
+            let mut done = 0;
+            while let Some(Ev::Store(ev)) = h.sim.next() {
+                h.cluster.handle(&mut h.sim, ev);
+                if h.cluster.drain_completions().iter().any(|c| c.token == t) {
+                    done = h.sim.now();
+                }
+            }
+            lat.push(done - issue);
+        }
+        assert!(lat[0] < 10_000, "ONE should dodge the straggler: {lat:?}");
+        assert!(lat[1] > 40_000, "ALL must wait out the pause: {lat:?}");
+    }
+
+    #[test]
+    fn timeouts_fire_when_replicas_die_mid_flight() {
+        let mut cfg = ordered_config(3, 5, 1000);
+        cfg.read_cl = Consistency::All;
+        let mut h = Harness::new(cfg);
+        h.run_one(StoreOp::Insert {
+            key: key(0),
+            value: k("x"),
+        });
+        let reps = h.cluster.ring().replicas(&key(0), 3);
+        // Submit the read; kill a replica after the coordinator has fanned
+        // out (i.e. right after the Arrive event), so its request is
+        // silently dropped mid-flight.
+        let t = h.submit(StoreOp::Read { key: key(0) });
+        let mut out = Vec::new();
+        while let Some(Ev::Store(ev)) = h.sim.next() {
+            let was_arrive = matches!(ev, Event::Arrive { .. });
+            h.cluster.handle(&mut h.sim, ev);
+            out.extend(h.cluster.drain_completions());
+            if was_arrive {
+                h.cluster.fail_node(reps[2]);
+            }
+        }
+        let c = out.into_iter().find(|c| c.token == t).expect("timed out");
+        assert_eq!(c.result, OpResult::Error(OpError::Unavailable));
+        assert_eq!(h.cluster.metrics().timeouts, 1);
+    }
+
+    #[test]
+    fn load_direct_populates_replicas() {
+        let mut h = Harness::new(ordered_config(3, 5, 100));
+        for i in 0..100u64 {
+            h.cluster.load_direct(key(i), k("seed"), 1);
+        }
+        h.cluster.flush_all();
+        for i in (0..100u64).step_by(13) {
+            for r in h.cluster.ring().replicas(&key(i), 3) {
+                assert!(h.cluster.read_local(r, &key(i)).is_some());
+            }
+        }
+        // Reads served through the full path too.
+        let r = h.run_one(StoreOp::Read { key: key(42) });
+        assert!(matches!(r.result, OpResult::Value(Some(_))));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut h = Harness::new(ordered_config(3, 5, 1000));
+            let mut tokens = Vec::new();
+            for i in 0..20u64 {
+                tokens.push(h.submit(StoreOp::Insert {
+                    key: key(i),
+                    value: k("v"),
+                }));
+            }
+            let out = h.run();
+            (out.len(), h.sim.now(), h.cluster.metrics().writes)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn metrics_count_operations() {
+        let mut h = Harness::new(ordered_config(2, 4, 100));
+        h.run_one(StoreOp::Insert {
+            key: key(0),
+            value: k("v"),
+        });
+        h.run_one(StoreOp::Read { key: key(0) });
+        h.run_one(StoreOp::Scan {
+            start: key(0),
+            limit: 5,
+        });
+        let m = h.cluster.metrics();
+        assert_eq!(m.writes, 1);
+        assert_eq!(m.reads, 1);
+        assert_eq!(m.scans, 1);
+    }
+}

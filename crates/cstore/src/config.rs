@@ -1,0 +1,228 @@
+//! Cluster configuration: consistency levels, service costs, tuning knobs.
+
+use simkit::{NodeProfile, Topology};
+use storage::LsmConfig;
+
+use crate::ring::Partitioner;
+
+/// A tunable consistency level (the paper benchmarks ONE, QUORUM, and
+/// write-ALL; TWO and THREE exist in Cassandra and are included for
+/// completeness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Consistency {
+    /// One replica must respond.
+    One,
+    /// Two replicas must respond.
+    Two,
+    /// Three replicas must respond.
+    Three,
+    /// A majority of replicas must respond.
+    Quorum,
+    /// Every replica must respond.
+    All,
+}
+
+impl Consistency {
+    /// How many replica responses this level requires at replication factor
+    /// `rf` (clamped to `rf`).
+    pub fn required(self, rf: u32) -> u32 {
+        let n = match self {
+            Consistency::One => 1,
+            Consistency::Two => 2,
+            Consistency::Three => 3,
+            Consistency::Quorum => rf / 2 + 1,
+            Consistency::All => rf,
+        };
+        n.clamp(1, rf.max(1))
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Consistency::One => "ONE",
+            Consistency::Two => "TWO",
+            Consistency::Three => "THREE",
+            Consistency::Quorum => "QUORUM",
+            Consistency::All => "ALL",
+        }
+    }
+}
+
+impl std::fmt::Display for Consistency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How the commit log reaches the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitlogSync {
+    /// Appends acknowledge from memory; disk bandwidth is consumed in the
+    /// background (Cassandra's `periodic` mode, the default the paper ran).
+    Periodic,
+    /// Every write waits for its log bytes to reach the platter (`batch`
+    /// mode); used by the durability ablation.
+    PerWrite,
+}
+
+/// CPU service times (microseconds) for the request-path stages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceCosts {
+    /// Coordinator request parse/route cost.
+    pub coord_us: u64,
+    /// Replica-side point-read handling.
+    pub replica_read_us: u64,
+    /// Replica-side mutation handling (log append + memtable insert).
+    pub replica_write_us: u64,
+    /// Coordinator work per replica response (digest compare, reconcile).
+    pub reconcile_us: u64,
+    /// Replica-side cost per row returned by a scan.
+    pub scan_row_us: u64,
+    /// Fixed per-message overhead bytes (headers, serialization).
+    pub msg_overhead_bytes: u64,
+    /// Service-time variability: 0 = deterministic service times, 1 =
+    /// exponentially distributed with the configured means (JVM-era RPC
+    /// handling is heavy-tailed; this is what makes waiting for *all*
+    /// replicas expensive relative to waiting for the fastest).
+    pub jitter: f64,
+}
+
+impl Default for ServiceCosts {
+    fn default() -> Self {
+        // Calibrated to 2014-era request-path costs (JVM RPC stacks):
+        // a full coordinator+replica path lands near a millisecond before
+        // any disk access, matching the era's measured floor latencies.
+        Self {
+            coord_us: 200,
+            replica_read_us: 300,
+            replica_write_us: 300,
+            reconcile_us: 20,
+            scan_row_us: 5,
+            msg_overhead_bytes: 100,
+            jitter: 1.0,
+        }
+    }
+}
+
+/// Full configuration of a simulated Cassandra-analog cluster.
+#[derive(Debug, Clone)]
+pub struct CStoreConfig {
+    /// Number of server nodes (the paper: 15).
+    pub nodes: usize,
+    /// Replication factor (the paper sweeps 1..=6).
+    pub replication_factor: u32,
+    /// Read consistency level.
+    pub read_cl: Consistency,
+    /// Write consistency level.
+    pub write_cl: Consistency,
+    /// Probability that a read triggers a background all-replica read
+    /// repair (Cassandra's `read_repair_chance`; 0.1 was the era default).
+    pub read_repair_chance: f64,
+    /// Commit-log durability mode.
+    pub commitlog_sync: CommitlogSync,
+    /// Store hints for dead replicas and replay them on recovery.
+    pub hinted_handoff: bool,
+    /// Background (flush/compaction) disk-I/O throttle, bytes/second —
+    /// Cassandra's `compaction_throughput_mb_per_sec` (default 16 MB/s).
+    pub bg_io_rate: u64,
+    /// Mean interval between stop-the-world pauses per node (JVM garbage
+    /// collection; the era's dominant straggler source). 0 disables.
+    pub pause_interval_us: u64,
+    /// Duration of each pause. With the default 50 ms every ~1 s a node is
+    /// unresponsive ~5% of the time — a CMS-era heap under write churn.
+    pub pause_duration_us: u64,
+    /// Per-node storage-engine tuning.
+    pub lsm: LsmConfig,
+    /// Key partitioning scheme.
+    pub partitioner: Partitioner,
+    /// Hardware of each node.
+    pub profile: NodeProfile,
+    /// Rack layout / network distances.
+    pub topology: Topology,
+    /// CPU service times.
+    pub costs: ServiceCosts,
+}
+
+impl CStoreConfig {
+    /// The paper's testbed shape: 15 identical nodes in one rack, RF and
+    /// consistency per the experiment, defaults everywhere else.
+    pub fn paper_testbed(replication_factor: u32, partitioner: Partitioner) -> Self {
+        let profile = NodeProfile::paper_testbed();
+        Self {
+            nodes: 15,
+            replication_factor,
+            read_cl: Consistency::One,
+            write_cl: Consistency::One,
+            read_repair_chance: 0.1,
+            commitlog_sync: CommitlogSync::Periodic,
+            hinted_handoff: true,
+            bg_io_rate: 16_000_000,
+            // Off by default; the straggler effect is carried by service-
+            // time jitter. Enable for the pause ablation.
+            pause_interval_us: 0,
+            pause_duration_us: 50_000,
+            lsm: LsmConfig::default(),
+            partitioner,
+            profile,
+            topology: Topology::single_rack(15, profile.nic.prop_us),
+            costs: ServiceCosts::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_math() {
+        assert_eq!(Consistency::Quorum.required(1), 1);
+        assert_eq!(Consistency::Quorum.required(2), 2);
+        assert_eq!(Consistency::Quorum.required(3), 2);
+        assert_eq!(Consistency::Quorum.required(4), 3);
+        assert_eq!(Consistency::Quorum.required(5), 3);
+        assert_eq!(Consistency::Quorum.required(6), 4);
+    }
+
+    #[test]
+    fn levels_clamp_to_rf() {
+        assert_eq!(Consistency::All.required(3), 3);
+        assert_eq!(Consistency::Three.required(2), 2);
+        assert_eq!(Consistency::Two.required(1), 1);
+        assert_eq!(Consistency::One.required(6), 1);
+    }
+
+    #[test]
+    fn quorum_plus_quorum_overlaps() {
+        // W + R > N for QUORUM at every RF: the strong-consistency identity.
+        for rf in 1..=10u32 {
+            let q = Consistency::Quorum.required(rf);
+            assert!(q + q > rf, "no overlap at rf={rf}");
+        }
+    }
+
+    #[test]
+    fn write_all_read_one_overlaps() {
+        for rf in 1..=10u32 {
+            let w = Consistency::All.required(rf);
+            let r = Consistency::One.required(rf);
+            assert!(w + r > rf);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Consistency::Quorum.to_string(), "QUORUM");
+        assert_eq!(Consistency::One.label(), "ONE");
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = CStoreConfig::paper_testbed(3, Partitioner::murmur());
+        assert_eq!(c.nodes, 15);
+        assert_eq!(c.replication_factor, 3);
+        assert_eq!(c.read_cl, Consistency::One);
+        assert_eq!(c.topology.len(), 15);
+        assert!((c.read_repair_chance - 0.1).abs() < 1e-12);
+    }
+}

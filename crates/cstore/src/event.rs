@@ -1,0 +1,122 @@
+//! The cluster's internal event vocabulary.
+//!
+//! `cstore` is queue-agnostic: every method is generic over any event
+//! payload `W: From<Event>`, so the experiment driver can embed these events
+//! in its own enum alongside client-side events.
+
+use simkit::NodeId;
+use storage::{Cell, Key, OpResult};
+
+/// An internal simulation event of the Cassandra-analog cluster.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A client request has fully arrived at its coordinator.
+    Arrive {
+        /// Operation id (the driver token).
+        op: u64,
+    },
+    /// A mutation has arrived at a replica.
+    ReplicaWrite {
+        /// Operation id; ignored when `ack` is false.
+        op: u64,
+        /// The replica.
+        node: NodeId,
+        /// Mutated key.
+        key: Key,
+        /// New cell.
+        cell: Cell,
+        /// Whether the replica should acknowledge to the coordinator.
+        ack: bool,
+    },
+    /// A replica finished applying a mutation (CPU/log done).
+    WriteApplied {
+        /// Operation id; ignored when `ack` is false.
+        op: u64,
+        /// The replica.
+        node: NodeId,
+        /// Mutated key.
+        key: Key,
+        /// New cell.
+        cell: Cell,
+        /// Whether to acknowledge.
+        ack: bool,
+    },
+    /// A replica's write acknowledgement reached the coordinator.
+    WriteAck {
+        /// Operation id.
+        op: u64,
+    },
+    /// A read request arrived at a replica.
+    ReplicaRead {
+        /// Operation id.
+        op: u64,
+        /// The replica.
+        node: NodeId,
+        /// Key to read.
+        key: Key,
+    },
+    /// A replica's read response reached the coordinator.
+    ReadReturn {
+        /// Operation id.
+        op: u64,
+        /// The responding replica.
+        node: NodeId,
+        /// What the replica had (None = no version).
+        cell: Option<Cell>,
+    },
+    /// A scan request arrived at a replica.
+    ReplicaScan {
+        /// Operation id.
+        op: u64,
+        /// The replica.
+        node: NodeId,
+        /// First key of the range.
+        start: Key,
+        /// Row budget for this range.
+        limit: usize,
+        /// Exclusive end of the replica's scanned range, when known.
+        clamp: Option<Key>,
+        /// False for repair probes: their responses add load but the
+        /// coordinator neither waits for nor merges them.
+        count: bool,
+    },
+    /// A replica's scan response reached the coordinator.
+    ScanReturn {
+        /// Operation id.
+        op: u64,
+        /// The responding replica.
+        node: NodeId,
+        /// Rows found (may include tombstones; coordinator filters).
+        rows: Vec<(Key, Cell)>,
+        /// True when the replica ran out of range before the row budget.
+        exhausted: bool,
+    },
+    /// The final response reached the client: deliver the completion.
+    Deliver {
+        /// The driver token.
+        token: u64,
+        /// The outcome.
+        result: OpResult,
+    },
+    /// Give up on an operation that is still incomplete.
+    Timeout {
+        /// Operation id.
+        op: u64,
+    },
+    /// Drain this node's hint queue toward recovered replicas.
+    HintReplay {
+        /// The hint-holding node.
+        node: NodeId,
+    },
+    /// Trickle one chunk of throttled background (flush/compaction) disk
+    /// I/O on a node.
+    BgIo {
+        /// The node draining its backlog.
+        node: NodeId,
+    },
+    /// A stop-the-world pause (JVM GC) begins on a node.
+    GcPause {
+        /// The pausing node.
+        node: NodeId,
+    },
+}

@@ -1,0 +1,83 @@
+//! Cluster-level behaviour counters, used by experiments and assertions.
+
+/// Counters accumulated by a [`crate::Cluster`] during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Point reads coordinated.
+    pub reads: u64,
+    /// Writes coordinated.
+    pub writes: u64,
+    /// Scans coordinated.
+    pub scans: u64,
+    /// Operations rejected for insufficient live replicas.
+    pub unavailable: u64,
+    /// Operations that timed out waiting for replica responses.
+    pub timeouts: u64,
+    /// Reads whose consistency quota saw disagreeing versions.
+    pub digest_mismatches: u64,
+    /// Reads that probed every replica (read-repair fan-out).
+    pub repair_fanouts: u64,
+    /// Repair mutations sent to stale replicas.
+    pub repair_writes: u64,
+    /// Hints queued for dead replicas.
+    pub hints_stored: u64,
+    /// Hints delivered after recovery.
+    pub hints_replayed: u64,
+    /// Memtable flushes across the cluster.
+    pub flushes: u64,
+    /// Compactions across the cluster.
+    pub compactions: u64,
+    /// Stop-the-world pauses taken across the cluster.
+    pub gc_pauses: u64,
+}
+
+impl Metrics {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Difference against an earlier snapshot (for measuring a window).
+    pub fn since(&self, earlier: &Metrics) -> Metrics {
+        Metrics {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            scans: self.scans - earlier.scans,
+            unavailable: self.unavailable - earlier.unavailable,
+            timeouts: self.timeouts - earlier.timeouts,
+            digest_mismatches: self.digest_mismatches - earlier.digest_mismatches,
+            repair_fanouts: self.repair_fanouts - earlier.repair_fanouts,
+            repair_writes: self.repair_writes - earlier.repair_writes,
+            hints_stored: self.hints_stored - earlier.hints_stored,
+            hints_replayed: self.hints_replayed - earlier.hints_replayed,
+            flushes: self.flushes - earlier.flushes,
+            compactions: self.compactions - earlier.compactions,
+            gc_pauses: self.gc_pauses - earlier.gc_pauses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let early = Metrics {
+            reads: 10,
+            repair_writes: 2,
+            ..Metrics::new()
+        };
+        let late = Metrics {
+            reads: 25,
+            repair_writes: 7,
+            writes: 3,
+            ..Metrics::new()
+        };
+        let d = late.since(&early);
+        assert_eq!(d.reads, 15);
+        assert_eq!(d.repair_writes, 5);
+        assert_eq!(d.writes, 3);
+        assert_eq!(d.scans, 0);
+    }
+}

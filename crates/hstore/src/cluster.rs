@@ -1,0 +1,1194 @@
+//! The assembled cluster: region servers, the WAL pipeline, reads, scans,
+//! flushes, failover.
+//!
+//! A write: `Arrive` at the region's server → join the server's WAL group →
+//! the group's pipeline round trip (in-memory ack at every replica, disk
+//! bandwidth consumed in the background) → `WalFlushDone` applies every
+//! mutation in the group to its memstore and answers the clients. A read
+//! never leaves the region's server (strong consistency, short-circuit
+//! local HFile access). A scan walks regions, one leg per region server.
+
+use std::collections::HashMap;
+
+use dfs::DfsCluster;
+use simkit::{NodeHw, NodeId, Sim, SimRng, SimTime};
+use storage::types::entry_encoded_len;
+use storage::{Cell, Completion, Key, OpError, OpResult, StoreOp};
+
+use crate::config::HStoreConfig;
+use crate::event::Event;
+use crate::master::Master;
+use crate::metrics::Metrics;
+use crate::region::RegionMap;
+
+/// Default RPC give-up interval (virtual time).
+const RPC_TIMEOUT_US: u64 = 2_000_000;
+
+#[derive(Debug, Clone)]
+struct WalState {
+    file: dfs::FileId,
+    pipeline: Vec<NodeId>,
+    inflight: bool,
+    waiting: Vec<u64>,
+    waiting_bytes: u64,
+    block_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    op: StoreOp,
+    responded: bool,
+    scan: Option<ScanState>,
+}
+
+#[derive(Debug, Clone)]
+struct ScanState {
+    collected: Vec<(Key, Cell)>,
+    limit: usize,
+}
+
+/// A simulated HBase-analog cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: HStoreConfig,
+    regions: RegionMap,
+    master: Master,
+    servers: Vec<NodeHw>,
+    wals: Vec<WalState>,
+    fs: DfsCluster,
+    pending: HashMap<u64, Pending>,
+    completed: Vec<Completion>,
+    metrics: Metrics,
+    rng: SimRng,
+    bg_backlog: Vec<u64>,
+    bg_active: Vec<bool>,
+    pauses_started: bool,
+}
+
+impl Cluster {
+    /// Build a cluster. `seed` drives HDFS replica placement.
+    pub fn new(config: HStoreConfig, seed: u64) -> Self {
+        assert!(config.nodes > 0);
+        assert!(config.replication_factor >= 1);
+        let mut rng = SimRng::new(seed);
+        let mut fs = DfsCluster::new(config.nodes, config.replication_factor);
+        let servers: Vec<NodeHw> = (0..config.nodes)
+            .map(|_| NodeHw::new(config.profile))
+            .collect();
+        let wals = (0..config.nodes)
+            .map(|i| {
+                let file = fs.create_file(&format!("/hstore/wal/{i}"));
+                let w = fs.append_block(file, 0, None, NodeId(i as u32), &mut rng);
+                WalState {
+                    file,
+                    pipeline: w.pipeline,
+                    inflight: false,
+                    waiting: Vec::new(),
+                    waiting_bytes: 0,
+                    block_bytes: 0,
+                }
+            })
+            .collect();
+        // The configured cache is per server; split it across the server's
+        // regions since each region owns its own engine.
+        let region_count = config.region_splits.len() + 1;
+        let rps = region_count.div_ceil(config.nodes).max(1);
+        let mut lsm = config.lsm;
+        lsm.cache_bytes /= rps as u64;
+        let regions = RegionMap::new(config.region_splits.clone(), config.nodes, lsm);
+        let servers_len = config.nodes;
+        Self {
+            config,
+            regions,
+            master: Master::new(),
+            servers,
+            wals,
+            fs,
+            pending: HashMap::new(),
+            completed: Vec::new(),
+            metrics: Metrics::new(),
+            rng,
+            bg_backlog: vec![0; servers_len],
+            bg_active: vec![false; servers_len],
+            pauses_started: false,
+        }
+    }
+
+    /// One background-I/O chunk size (64 KiB keeps foreground reads able to
+    /// interleave between chunks on the FIFO disk).
+    const BG_CHUNK: u64 = 64 * 1024;
+
+    /// Start draining a server's background backlog if not already draining.
+    fn kick_bg_io<W: From<Event>>(&mut self, sim: &mut Sim<W>, server: NodeId) {
+        let i = server.index();
+        if self.bg_backlog[i] > 0 && !self.bg_active[i] {
+            self.bg_active[i] = true;
+            sim.schedule_in(0, W::from(Event::BgIo { server }));
+        }
+    }
+
+    fn on_bg_io<W: From<Event>>(&mut self, sim: &mut Sim<W>, server: NodeId) {
+        let i = server.index();
+        if self.bg_backlog[i] == 0 {
+            self.bg_active[i] = false;
+            return;
+        }
+        let chunk = self.bg_backlog[i].min(Self::BG_CHUNK);
+        self.bg_backlog[i] -= chunk;
+        self.servers[i].disk.seq_write(sim.now(), chunk);
+        if self.bg_backlog[i] > 0 {
+            let interval = simkit::time::transfer_time(chunk, self.config.bg_io_rate);
+            sim.schedule_in(interval, W::from(Event::BgIo { server }));
+        } else {
+            self.bg_active[i] = false;
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HStoreConfig {
+        &self.config
+    }
+
+    /// The region map.
+    pub fn regions(&self) -> &RegionMap {
+        &self.regions
+    }
+
+    /// The underlying filesystem (assertions).
+    pub fn fs(&self) -> &DfsCluster {
+        &self.fs
+    }
+
+    /// Behaviour counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// A server's hardware (utilization reports).
+    pub fn server(&self, node: NodeId) -> &NodeHw {
+        &self.servers[node.index()]
+    }
+
+    /// In-flight operation count.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Take all completions produced since the last drain.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completed)
+    }
+
+    // ----- functional helpers -----
+
+    /// Load a record directly into its region (bulk-load phases).
+    pub fn load_direct(&mut self, key: Key, value: Key, ts: u64) {
+        let idx = self.regions.region_of(&key);
+        let region = self.regions.get_mut(idx);
+        region.lsm.put(key, Cell::live(value, ts));
+        if region.lsm.memtable_bytes() >= region.lsm.config().memtable_flush_bytes {
+            self.flush_region_functional(idx);
+        }
+    }
+
+    /// Flush every memstore into HFiles (functional; end of load phases).
+    pub fn flush_all(&mut self) {
+        for idx in 0..self.regions.len() {
+            self.flush_region_functional(idx);
+        }
+    }
+
+    fn flush_region_functional(&mut self, idx: usize) {
+        let region = self.regions.get_mut(idx);
+        let server = region.server;
+        if let Some(receipt) = region.lsm.flush() {
+            let file = self
+                .fs
+                .create_file(&format!("/hstore/hfile/{idx}/{}", receipt.table.0));
+            self.fs
+                .append_block(file, receipt.bytes, None, server, &mut self.rng);
+            self.regions.get_mut(idx).hfiles.insert(receipt.table, file);
+        }
+        // Compact down to one file to start runs from a clean state
+        // (operators major-compact after bulk loads).
+        {
+            let region = self.regions.get_mut(idx);
+            let Some(c) = region.lsm.compact_all() else {
+                let region = self.regions.get_mut(idx);
+                region.lsm.sync_wal();
+                return;
+            };
+            let file = self
+                .fs
+                .create_file(&format!("/hstore/hfile/{idx}/{}", c.output.0));
+            self.fs
+                .append_block(file, c.write_bytes, None, server, &mut self.rng);
+            let region = self.regions.get_mut(idx);
+            region.hfiles.insert(c.output, file);
+            let dead: Vec<dfs::FileId> = c
+                .inputs
+                .iter()
+                .filter_map(|t| region.hfiles.remove(t))
+                .collect();
+            for f in dead {
+                self.fs.delete_file(f);
+            }
+        }
+        let region = self.regions.get_mut(idx);
+        region.lsm.sync_wal();
+    }
+
+    /// Warm every region's block cache to steady state (see
+    /// [`storage::LsmTree::warm_cache`]).
+    pub fn warm_caches(&mut self) {
+        for region in self.regions.iter_mut() {
+            region.lsm.warm_cache();
+        }
+    }
+
+    /// Read a key directly from its region's storage (tests/diagnostics).
+    pub fn read_local(&mut self, key: &[u8]) -> Option<Cell> {
+        let idx = self.regions.region_of(key);
+        self.regions.get_mut(idx).lsm.get(key).cell
+    }
+
+    // ----- sizing & plumbing -----
+
+    fn overhead(&self) -> u64 {
+        self.config.costs.msg_overhead_bytes
+    }
+
+    fn is_up(&self, node: NodeId) -> bool {
+        self.servers[node.index()].is_up()
+    }
+
+    /// Sample a service time with the configured mean (see `cstore`'s
+    /// counterpart): exponential at jitter 1, deterministic at 0.
+    fn service<W>(&self, sim: &mut Sim<W>, mean_us: u64) -> u64 {
+        let j = self.config.costs.jitter;
+        if j <= 0.0 || mean_us == 0 {
+            return mean_us;
+        }
+        let u = sim.rng().unit().max(1e-12);
+        let exp = -u.ln() * mean_us as f64;
+        (mean_us as f64 * (1.0 - j) + exp * j).round() as u64
+    }
+
+    fn client_delivery(&mut self, from: NodeId, bytes: u64, start: SimTime) -> SimTime {
+        let tx = self.servers[from.index()].nic.tx(start, bytes);
+        tx + self.config.profile.nic.prop_us
+    }
+
+    fn respond<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        token: u64,
+        from: NodeId,
+        start: SimTime,
+        result: OpResult,
+    ) {
+        let bytes = match &result {
+            OpResult::Value(c) => self.overhead() + c.as_ref().map_or(0, Cell::encoded_len),
+            OpResult::Rows(rows) => {
+                self.overhead()
+                    + rows
+                        .iter()
+                        .map(|(k, c)| entry_encoded_len(k, c))
+                        .sum::<u64>()
+            }
+            _ => self.overhead(),
+        };
+        let at = self.client_delivery(from, bytes, start);
+        if let Some(p) = self.pending.get_mut(&token) {
+            p.responded = true;
+        }
+        sim.schedule_at(at, W::from(Event::Deliver { token, result }));
+    }
+
+    /// Push `bytes` through a replication pipeline starting at `start`:
+    /// every hop pays CPU and background log-disk bandwidth; the return value
+    /// is when the final in-memory acknowledgement reaches the head.
+    fn pipeline_round_trip(&mut self, pipeline: &[NodeId], bytes: u64, start: SimTime) -> SimTime {
+        let hop_us = self.config.costs.wal_hop_us;
+        let prop = self.config.profile.nic.prop_us;
+        let mut t = start;
+        let mut prev: Option<NodeId> = None;
+        let mut hops = 0u64;
+        for &n in pipeline {
+            if !self.is_up(n) {
+                continue; // HDFS drops dead pipeline members
+            }
+            if let Some(p) = prev {
+                let tx = self.servers[p.index()].nic.tx(t, bytes);
+                let arr = tx + prop;
+                t = self.servers[n.index()].nic.rx(arr, bytes);
+                hops += 1;
+            }
+            t = self.servers[n.index()].cpu.acquire(t, hop_us);
+            // Log bytes reach this replica's disk asynchronously.
+            self.servers[n.index()].disk.seq_write(t, bytes);
+            prev = Some(n);
+        }
+        // Acks ripple back through the chain.
+        t + hops * prop
+    }
+
+    // ----- public API -----
+
+    /// Submit a client operation.
+    pub fn submit<W: From<Event>>(&mut self, sim: &mut Sim<W>, token: u64, op: StoreOp) {
+        if !self.pauses_started {
+            self.pauses_started = true;
+            if self.config.pause_interval_us > 0 {
+                for i in 0..self.servers.len() {
+                    let delay = self.rng.below(self.config.pause_interval_us);
+                    sim.schedule_in(
+                        delay,
+                        W::from(Event::GcPause {
+                            server: NodeId(i as u32),
+                        }),
+                    );
+                }
+            }
+        }
+        let idx = self.regions.region_of(op.key());
+        let server = self.regions.get(idx).server;
+        if !self.is_up(server) {
+            self.metrics.server_down += 1;
+            self.completed.push(Completion {
+                token,
+                result: OpResult::Error(OpError::ServerDown),
+            });
+            return;
+        }
+        let bytes = self.overhead() + op.key().len() as u64;
+        let arr = sim.now() + self.config.profile.nic.prop_us;
+        let rx = self.servers[server.index()].nic.rx(arr, bytes);
+        self.pending.insert(
+            token,
+            Pending {
+                op,
+                responded: false,
+                scan: None,
+            },
+        );
+        sim.schedule_at(rx, W::from(Event::Arrive { op: token }));
+        sim.schedule_at(rx + RPC_TIMEOUT_US, W::from(Event::Timeout { op: token }));
+    }
+
+    /// Dispatch one internal event.
+    pub fn handle<W: From<Event>>(&mut self, sim: &mut Sim<W>, ev: Event) {
+        match ev {
+            Event::Arrive { op } => self.on_arrive(sim, op),
+            Event::WalFlushDone { server, group } => self.on_wal_flush_done(sim, server, group),
+            Event::ScanExec { op, region, start } => self.on_scan_exec(sim, op, region, start),
+            Event::Deliver { token, result } => {
+                self.pending.remove(&token);
+                self.completed.push(Completion { token, result });
+            }
+            Event::Timeout { op } => self.on_timeout(sim, op),
+            Event::BgIo { server } => self.on_bg_io(sim, server),
+            Event::GcPause { server } => self.on_gc_pause(sim, server),
+        }
+    }
+
+    /// A stop-the-world pause (JVM GC): every core blocked for the duration;
+    /// runs only while requests are pending so the simulation can quiesce.
+    fn on_gc_pause<W: From<Event>>(&mut self, sim: &mut Sim<W>, server: NodeId) {
+        let dur = self.config.pause_duration_us;
+        let interval = self.config.pause_interval_us;
+        if dur == 0 || interval == 0 {
+            return;
+        }
+        if self.pending.is_empty() {
+            self.pauses_started = false;
+            return;
+        }
+        {
+            let n = &mut self.servers[server.index()];
+            if n.is_up() {
+                self.metrics.gc_pauses += 1;
+                let now = sim.now();
+                for _ in 0..n.cpu.servers() {
+                    n.cpu.acquire(now, dur);
+                }
+            }
+        }
+        let jitter = interval / 2 + sim.rng().below(interval);
+        sim.schedule_in(dur + jitter, W::from(Event::GcPause { server }));
+    }
+
+    fn on_arrive<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: u64) {
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
+        let kind = p.op.clone();
+        let idx = self.regions.region_of(kind.key());
+        let server = self.regions.get(idx).server;
+        if !self.is_up(server) {
+            self.metrics.server_down += 1;
+            self.pending.remove(&op);
+            self.completed.push(Completion {
+                token: op,
+                result: OpResult::Error(OpError::ServerDown),
+            });
+            return;
+        }
+        let service = self.service(sim, self.config.costs.server_us);
+        let t1 = self.servers[server.index()].cpu.acquire(sim.now(), service);
+        match kind {
+            StoreOp::Read { key } => {
+                self.metrics.reads += 1;
+                let t2 = self.read_region(idx, &key, t1, sim, op);
+                let _ = t2;
+            }
+            StoreOp::Scan { start, limit } => {
+                self.metrics.scans += 1;
+                if let Some(p) = self.pending.get_mut(&op) {
+                    p.scan = Some(ScanState {
+                        collected: Vec::new(),
+                        limit,
+                    });
+                }
+                sim.schedule_at(
+                    t1,
+                    W::from(Event::ScanExec {
+                        op,
+                        region: idx,
+                        start,
+                    }),
+                );
+            }
+            StoreOp::Insert { .. } | StoreOp::Update { .. } | StoreOp::Delete { .. } => {
+                self.metrics.writes += 1;
+                self.enqueue_wal(sim, op, server, t1);
+            }
+        }
+    }
+
+    /// Full read path: region engine + local (or post-failover remote) disk.
+    fn read_region<W: From<Event>>(
+        &mut self,
+        idx: usize,
+        key: &[u8],
+        t1: SimTime,
+        sim: &mut Sim<W>,
+        op: u64,
+    ) -> SimTime {
+        let server = self.regions.get(idx).server;
+        let service = self.service(sim, self.config.costs.read_us);
+        let t1 = self.servers[server.index()].cpu.acquire(t1, service);
+        let remote = self.region_remote_source(idx);
+        let (cell, plan) = {
+            let region = self.regions.get_mut(idx);
+            let res = region.lsm.get(key);
+            (res.cell, res.io)
+        };
+        let mut t = t1;
+        for io in plan.ops() {
+            match *io {
+                storage::IoOp::DiskRead { bytes } => {
+                    t = match remote {
+                        // Short-circuit read from the local replica.
+                        None => self.servers[server.index()].disk.random_read(t, bytes),
+                        // Post-failover: fetch the block from a remote
+                        // datanode's disk, then move it over the network.
+                        Some(src) => {
+                            let td = self.servers[src.index()].disk.random_read(t, bytes);
+                            let tx = self.servers[src.index()].nic.tx(td, bytes);
+                            let arr = tx + self.config.topology.prop_us(src, server);
+                            self.servers[server.index()].nic.rx(arr, bytes)
+                        }
+                    };
+                }
+                storage::IoOp::DiskSeqRead { bytes } => {
+                    t = match remote {
+                        None => self.servers[server.index()].disk.seq_read(t, bytes),
+                        Some(src) => {
+                            let td = self.servers[src.index()].disk.seq_read(t, bytes);
+                            let tx = self.servers[src.index()].nic.tx(td, bytes);
+                            let arr = tx + self.config.topology.prop_us(src, server);
+                            self.servers[server.index()].nic.rx(arr, bytes)
+                        }
+                    };
+                }
+                _ => {}
+            }
+        }
+        let client_cell = cell.filter(|c| !c.is_tombstone());
+        self.respond(sim, op, server, t, OpResult::Value(client_cell));
+        t
+    }
+
+    /// Where a region's HFile blocks must be fetched from when the serving
+    /// server lacks a local replica (only after failover). `None` = local.
+    fn region_remote_source(&self, idx: usize) -> Option<NodeId> {
+        let region = self.regions.get(idx);
+        let server = region.server;
+        for file in region.hfiles.values() {
+            let meta = self.fs.namenode().file(*file)?;
+            for block in &meta.blocks {
+                if self.fs.pick_read_replica(*block, server) != Some(server) {
+                    return self.fs.pick_read_replica(*block, server);
+                }
+            }
+        }
+        None
+    }
+
+    fn enqueue_wal<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        op: u64,
+        server: NodeId,
+        t1: SimTime,
+    ) {
+        let bytes = {
+            let p = self.pending.get(&op).expect("pending exists");
+            match &p.op {
+                StoreOp::Insert { key, value } | StoreOp::Update { key, value } => {
+                    entry_encoded_len(key, &Cell::live(value.clone(), 0)) + 8
+                }
+                StoreOp::Delete { key } => entry_encoded_len(key, &Cell::tombstone(0)) + 8,
+                _ => unreachable!("only writes reach the WAL"),
+            }
+        };
+        let wal = &mut self.wals[server.index()];
+        wal.waiting.push(op);
+        wal.waiting_bytes += bytes;
+        if !wal.inflight {
+            self.start_wal_group(sim, server, t1);
+        }
+    }
+
+    fn start_wal_group<W: From<Event>>(&mut self, sim: &mut Sim<W>, server: NodeId, t: SimTime) {
+        let (group, bytes, pipeline) = {
+            let wal = &mut self.wals[server.index()];
+            debug_assert!(!wal.inflight);
+            let group = std::mem::take(&mut wal.waiting);
+            let bytes = wal.waiting_bytes + self.config.costs.msg_overhead_bytes;
+            wal.waiting_bytes = 0;
+            wal.inflight = true;
+            wal.block_bytes += bytes;
+            (group, bytes, wal.pipeline.clone())
+        };
+        self.metrics.wal_groups += 1;
+        self.metrics.wal_entries += group.len() as u64;
+        let done = self.pipeline_round_trip(&pipeline, bytes, t);
+        // Roll the WAL block when it fills (a fresh HDFS block and possibly
+        // a fresh pipeline).
+        if self.wals[server.index()].block_bytes >= self.config.wal_block_bytes {
+            let file = self.wals[server.index()].file;
+            let len = self.wals[server.index()].block_bytes;
+            let w = self.fs.append_block(file, len, None, server, &mut self.rng);
+            let wal = &mut self.wals[server.index()];
+            wal.pipeline = w.pipeline;
+            wal.block_bytes = 0;
+            self.metrics.wal_blocks_rolled += 1;
+        }
+        sim.schedule_at(done, W::from(Event::WalFlushDone { server, group }));
+    }
+
+    fn on_wal_flush_done<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        server: NodeId,
+        group: Vec<u64>,
+    ) {
+        self.wals[server.index()].inflight = false;
+        let now = sim.now();
+        let apply_us = self.config.costs.apply_us;
+        for op in group {
+            let Some(p) = self.pending.get(&op) else {
+                continue; // timed out; the mutation is still applied below
+            };
+            let (key, cell) = match &p.op {
+                StoreOp::Insert { key, value } | StoreOp::Update { key, value } => {
+                    (key.clone(), Cell::live(value.clone(), now))
+                }
+                StoreOp::Delete { key } => (key.clone(), Cell::tombstone(now)),
+                _ => continue,
+            };
+            let t_apply = self.servers[server.index()].cpu.acquire(now, apply_us);
+            let idx = self.regions.region_of(&key);
+            self.regions.get_mut(idx).lsm.put(key, cell);
+            self.maintain_region(sim, idx, t_apply);
+            self.respond(sim, op, server, t_apply, OpResult::Written { ts: now });
+        }
+        // More writers queued while this group was in flight?
+        if !self.wals[server.index()].waiting.is_empty() && self.is_up(server) {
+            self.start_wal_group(sim, server, now);
+        }
+    }
+
+    /// Flush/compact a region when its memstore fills, charging the `dfs`
+    /// pipeline: every replica's disk receives the HFile bytes (via the
+    /// background-I/O throttle).
+    fn maintain_region<W: From<Event>>(&mut self, sim: &mut Sim<W>, idx: usize, now: SimTime) {
+        let threshold = self.regions.get(idx).lsm.config().memtable_flush_bytes;
+        if self.regions.get(idx).lsm.memtable_bytes() < threshold {
+            return;
+        }
+        let server = self.regions.get(idx).server;
+        let Some(receipt) = self.regions.get_mut(idx).lsm.flush() else {
+            return;
+        };
+        self.metrics.flushes += 1;
+        let file = self
+            .fs
+            .create_file(&format!("/hstore/hfile/{idx}/{}", receipt.table.0));
+        let w = self
+            .fs
+            .append_block(file, receipt.bytes, None, server, &mut self.rng);
+        self.charge_replication(&w.pipeline, receipt.bytes, now);
+        self.regions.get_mut(idx).hfiles.insert(receipt.table, file);
+        if receipt.compaction_due {
+            if let Some(c) = self.regions.get_mut(idx).lsm.maybe_compact() {
+                self.metrics.compactions += 1;
+                // Read inputs locally, write the output through the pipeline.
+                self.bg_backlog[server.index()] += c.read_bytes;
+                let out = self
+                    .fs
+                    .create_file(&format!("/hstore/hfile/{idx}/{}", c.output.0));
+                let w = self
+                    .fs
+                    .append_block(out, c.write_bytes, None, server, &mut self.rng);
+                self.charge_replication(&w.pipeline, c.write_bytes, now);
+                let region = self.regions.get_mut(idx);
+                region.hfiles.insert(c.output, out);
+                let dead: Vec<dfs::FileId> = c
+                    .inputs
+                    .iter()
+                    .filter_map(|t| region.hfiles.remove(t))
+                    .collect();
+                for f in dead {
+                    self.fs.delete_file(f);
+                }
+            }
+        }
+        for i in 0..self.servers.len() {
+            self.kick_bg_io(sim, NodeId(i as u32));
+        }
+    }
+
+    /// Background replication traffic: bytes land in every pipeline node's
+    /// background-I/O backlog (throttled onto its disk), moving over the
+    /// network between consecutive members.
+    fn charge_replication(&mut self, pipeline: &[NodeId], bytes: u64, now: SimTime) {
+        let prop = self.config.profile.nic.prop_us;
+        let mut t = now;
+        let mut prev: Option<NodeId> = None;
+        for &n in pipeline {
+            if !self.is_up(n) {
+                continue;
+            }
+            if let Some(p) = prev {
+                let tx = self.servers[p.index()].nic.tx(t, bytes);
+                t = self.servers[n.index()].nic.rx(tx + prop, bytes);
+            }
+            self.bg_backlog[n.index()] += bytes;
+            prev = Some(n);
+        }
+    }
+
+    fn on_scan_exec<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        op: u64,
+        idx: usize,
+        start: Key,
+    ) {
+        if !self.pending.contains_key(&op) {
+            return;
+        }
+        let server = self.regions.get(idx).server;
+        if !self.is_up(server) {
+            self.metrics.server_down += 1;
+            self.pending.remove(&op);
+            self.completed.push(Completion {
+                token: op,
+                result: OpResult::Error(OpError::ServerDown),
+            });
+            return;
+        }
+        let remaining = {
+            let p = self.pending.get(&op).expect("checked above");
+            let s = p.scan.as_ref().expect("scan state set at arrive");
+            s.limit - s.collected.len()
+        };
+        let costs = self.config.costs;
+        let t1 = self.servers[server.index()]
+            .cpu
+            .acquire(sim.now(), costs.read_us);
+        let (rows, plan) = {
+            let region = self.regions.get_mut(idx);
+            let res = region.lsm.scan(&start, remaining);
+            (res.rows, res.io)
+        };
+        let mut t = t1;
+        for io in plan.ops() {
+            match *io {
+                storage::IoOp::DiskRead { bytes } => {
+                    t = self.servers[server.index()].disk.random_read(t, bytes);
+                }
+                storage::IoOp::DiskSeqRead { bytes } => {
+                    t = self.servers[server.index()].disk.seq_read(t, bytes);
+                }
+                _ => {}
+            }
+        }
+        let t = self.servers[server.index()]
+            .cpu
+            .acquire(t, costs.scan_row_us * rows.len() as u64);
+        let exhausted = rows.len() < remaining;
+        let (done, next_start) = {
+            let p = self.pending.get_mut(&op).expect("checked above");
+            let s = p.scan.as_mut().expect("scan state");
+            s.collected.extend(rows);
+            let more = s.collected.len() < s.limit && exhausted && idx + 1 < self.regions.len();
+            if more {
+                (false, Some(self.regions.get(idx + 1).start.clone()))
+            } else {
+                (true, None)
+            }
+        };
+        if done {
+            let rows = {
+                let p = self.pending.get_mut(&op).expect("checked above");
+                std::mem::take(&mut p.scan.as_mut().expect("scan state").collected)
+            };
+            self.respond(sim, op, server, t, OpResult::Rows(rows));
+        } else if let Some(next) = next_start {
+            // The client receives this leg's rows, then asks the next
+            // region's server (client-mediated scanning, as in HBase).
+            let leg_bytes = self.overhead();
+            let back = self.client_delivery(server, leg_bytes, t);
+            let next_server = self.regions.get(idx + 1).server;
+            let arr = back + self.config.profile.nic.prop_us;
+            let rx = self.servers[next_server.index()].nic.rx(arr, leg_bytes);
+            sim.schedule_at(
+                rx,
+                W::from(Event::ScanExec {
+                    op,
+                    region: idx + 1,
+                    start: next,
+                }),
+            );
+        }
+    }
+
+    fn on_timeout<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: u64) {
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
+        if p.responded {
+            return; // Deliver is already scheduled; let it land.
+        }
+        self.pending.remove(&op);
+        let at = sim.now() + self.config.profile.nic.prop_us;
+        sim.schedule_at(
+            at,
+            W::from(Event::Deliver {
+                token: op,
+                result: OpResult::Error(OpError::ServerDown),
+            }),
+        );
+    }
+
+    // ----- failure handling -----
+
+    /// Crash a region server: its regions fail over to the survivors, each
+    /// paying WAL-replay time and restarting with a cold cache; its HDFS
+    /// blocks re-replicate in the background.
+    pub fn fail_server(&mut self, node: NodeId) {
+        self.servers[node.index()].fail();
+        self.fs.fail_node(node);
+        let live: Vec<NodeId> = (0..self.servers.len() as u32)
+            .map(NodeId)
+            .filter(|n| self.is_up(*n))
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        let moves = self.master.fail_over(&mut self.regions, node, &live);
+        self.metrics.regions_moved += moves.len() as u64;
+        for m in &moves {
+            let region = self.regions.get_mut(m.region);
+            // The new server replays the region's WAL tail and starts cold.
+            let replay_bytes = region.lsm.memtable_bytes();
+            region.lsm.drop_cache();
+            self.servers[m.to.index()].disk.seq_read(0, replay_bytes);
+        }
+        // HDFS restores the replication factor in the background.
+        let tasks = self.fs.rereplicate(&mut self.rng);
+        for t in tasks {
+            self.servers[t.src.index()].disk.seq_read(0, t.len);
+            self.servers[t.dst.index()].disk.seq_write(0, t.len);
+        }
+    }
+
+    /// Bring a server back (it rejoins empty; regions stay where they are,
+    /// as HBase does not auto-rebalance immediately).
+    pub fn recover_server(&mut self, node: NodeId) {
+        self.servers[node.index()].recover();
+        self.fs.recover_node(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[derive(Debug, Clone)]
+    enum Ev {
+        Store(Event),
+    }
+    impl From<Event> for Ev {
+        fn from(e: Event) -> Self {
+            Ev::Store(e)
+        }
+    }
+
+    fn k(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn key(i: u64) -> Bytes {
+        Bytes::from(format!("user{i:012}").into_bytes())
+    }
+
+    fn config(rf: u32, nodes: usize, records: u64) -> HStoreConfig {
+        let splits: Vec<Bytes> = (1..nodes as u64)
+            .map(|i| key(i * records / nodes as u64))
+            .collect();
+        let mut c = HStoreConfig::paper_testbed(rf, splits);
+        c.nodes = nodes;
+        c.topology = simkit::Topology::single_rack(nodes, c.profile.nic.prop_us);
+        c
+    }
+
+    struct Harness {
+        cluster: Cluster,
+        sim: Sim<Ev>,
+        next_token: u64,
+    }
+
+    impl Harness {
+        fn new(cfg: HStoreConfig) -> Self {
+            Self {
+                cluster: Cluster::new(cfg, 7),
+                sim: Sim::new(42),
+                next_token: 1,
+            }
+        }
+
+        fn submit(&mut self, op: StoreOp) -> u64 {
+            let t = self.next_token;
+            self.next_token += 1;
+            self.cluster.submit(&mut self.sim, t, op);
+            t
+        }
+
+        fn run(&mut self) -> Vec<Completion> {
+            let mut out = Vec::new();
+            out.extend(self.cluster.drain_completions());
+            while let Some(Ev::Store(ev)) = self.sim.next() {
+                self.cluster.handle(&mut self.sim, ev);
+                out.extend(self.cluster.drain_completions());
+            }
+            out
+        }
+
+        fn run_one(&mut self, op: StoreOp) -> Completion {
+            let t = self.submit(op);
+            let out = self.run();
+            out.into_iter().find(|c| c.token == t).expect("completed")
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut h = Harness::new(config(3, 5, 1000));
+        let w = h.run_one(StoreOp::Insert {
+            key: key(10),
+            value: k("hello"),
+        });
+        assert!(matches!(w.result, OpResult::Written { .. }));
+        let r = h.run_one(StoreOp::Read { key: key(10) });
+        match r.result {
+            OpResult::Value(Some(cell)) => {
+                assert_eq!(cell.value.as_deref(), Some(&b"hello"[..]));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reads_are_strongly_consistent_immediately() {
+        // No consistency knob exists: a write acked is a write visible.
+        let mut h = Harness::new(config(6, 5, 1000));
+        for i in 0..50u64 {
+            h.run_one(StoreOp::Update {
+                key: key(i % 3),
+                value: Bytes::from(format!("v{i}").into_bytes()),
+            });
+            let r = h.run_one(StoreOp::Read { key: key(i % 3) });
+            match r.result {
+                OpResult::Value(Some(cell)) => {
+                    assert_eq!(cell.value.as_deref(), Some(format!("v{i}").as_bytes()));
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delete_hides_value() {
+        let mut h = Harness::new(config(2, 4, 1000));
+        h.run_one(StoreOp::Insert {
+            key: key(1),
+            value: k("v"),
+        });
+        h.run_one(StoreOp::Delete { key: key(1) });
+        let r = h.run_one(StoreOp::Read { key: key(1) });
+        assert_eq!(r.result, OpResult::Value(None));
+    }
+
+    #[test]
+    fn scan_crosses_region_boundaries_in_order() {
+        let mut h = Harness::new(config(2, 4, 100));
+        for i in 0..100u64 {
+            h.run_one(StoreOp::Insert {
+                key: key(i),
+                value: k("v"),
+            });
+        }
+        let r = h.run_one(StoreOp::Scan {
+            start: key(20),
+            limit: 40,
+        });
+        match r.result {
+            OpResult::Rows(rows) => {
+                assert_eq!(rows.len(), 40);
+                assert_eq!(rows[0].0, key(20));
+                assert_eq!(rows[39].0, key(59));
+                let keys: Vec<_> = rows.iter().map(|(k, _)| k.clone()).collect();
+                let mut sorted = keys.clone();
+                sorted.sort();
+                assert_eq!(keys, sorted);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_stops_at_data_end() {
+        let mut h = Harness::new(config(2, 4, 100));
+        for i in 0..30u64 {
+            h.run_one(StoreOp::Insert {
+                key: key(i),
+                value: k("v"),
+            });
+        }
+        let r = h.run_one(StoreOp::Scan {
+            start: key(25),
+            limit: 50,
+        });
+        match r.result {
+            OpResult::Rows(rows) => assert_eq!(rows.len(), 5),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_writers() {
+        let mut h = Harness::new(config(3, 2, 100));
+        // Many writes to the same region submitted at once.
+        let mut tokens = Vec::new();
+        for i in 0..20u64 {
+            tokens.push(h.submit(StoreOp::Insert {
+                key: key(i), // region 0 holds 0..50
+                value: k("v"),
+            }));
+        }
+        let out = h.run();
+        assert_eq!(out.len(), 20);
+        assert!(out.iter().all(|c| matches!(c.result, OpResult::Written { .. })));
+        let m = h.cluster.metrics();
+        assert!(
+            m.wal_groups < 20,
+            "expected batching, got {} groups",
+            m.wal_groups
+        );
+        assert!(m.wal_batching() > 1.0);
+    }
+
+    #[test]
+    fn wal_pipeline_replicates_log_bytes_to_rf_disks() {
+        let mut h = Harness::new(config(3, 5, 1000));
+        h.run_one(StoreOp::Insert {
+            key: key(0),
+            value: Bytes::from(vec![9u8; 500]),
+        });
+        let pipeline = h.cluster.wals[h.cluster.regions.get(0).server.index()]
+            .pipeline
+            .clone();
+        assert_eq!(pipeline.len(), 3);
+        for n in pipeline {
+            assert!(
+                h.cluster.server(n).disk.written_bytes() >= 500,
+                "pipeline member {n} received no log bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn write_latency_grows_only_mildly_with_rf() {
+        // The paper's key HBase observation: in-memory pipeline replication
+        // keeps the write latency nearly flat as RF grows.
+        let mut lats = Vec::new();
+        for rf in [1u32, 6] {
+            let mut h = Harness::new(config(rf, 8, 1000));
+            let issue = h.sim.now();
+            let t = h.submit(StoreOp::Insert {
+                key: key(0),
+                value: Bytes::from(vec![1u8; 1000]),
+            });
+            let mut done = 0;
+            while let Some(Ev::Store(ev)) = h.sim.next() {
+                h.cluster.handle(&mut h.sim, ev);
+                if h.cluster.drain_completions().iter().any(|c| c.token == t) {
+                    done = h.sim.now();
+                }
+            }
+            lats.push(done - issue);
+        }
+        let (rf1, rf6) = (lats[0] as f64, lats[1] as f64);
+        assert!(rf6 > rf1, "more hops must cost something");
+        assert!(
+            rf6 < rf1 * 3.0,
+            "write latency should grow mildly, not proportionally: {lats:?}"
+        );
+    }
+
+    #[test]
+    fn flush_writes_hfiles_through_dfs() {
+        let mut cfg = config(3, 4, 200);
+        cfg.lsm.memtable_flush_bytes = 2_048;
+        let mut h = Harness::new(cfg);
+        for i in 0..200u64 {
+            h.run_one(StoreOp::Insert {
+                key: key(i),
+                value: Bytes::from(vec![3u8; 100]),
+            });
+        }
+        assert!(h.cluster.metrics().flushes > 0);
+        // Each flushed HFile exists in dfs with RF replicas.
+        let total_hfiles: usize = h.cluster.regions().iter().map(|r| r.hfiles.len()).sum();
+        assert!(total_hfiles > 0);
+        for region in h.cluster.regions().iter() {
+            for file in region.hfiles.values() {
+                let meta = h.cluster.fs().namenode().file(*file).expect("file exists");
+                for b in &meta.blocks {
+                    assert_eq!(h.cluster.fs().locations(*b).len(), 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reads_stay_local_and_rf_blind() {
+        // Read latency must be (statistically) identical across RF because
+        // the read path never touches a replica.
+        let mut lat_by_rf = Vec::new();
+        for rf in [1u32, 6] {
+            let mut cfg = config(rf, 5, 500);
+            cfg.lsm.memtable_flush_bytes = 8 * 1024;
+            let mut h = Harness::new(cfg);
+            for i in 0..500u64 {
+                h.cluster.load_direct(key(i), k("v"), 1);
+            }
+            h.cluster.flush_all();
+            let issue = h.sim.now();
+            let t = h.submit(StoreOp::Read { key: key(250) });
+            let mut done = 0;
+            while let Some(Ev::Store(ev)) = h.sim.next() {
+                h.cluster.handle(&mut h.sim, ev);
+                if h.cluster.drain_completions().iter().any(|c| c.token == t) {
+                    done = h.sim.now();
+                }
+            }
+            lat_by_rf.push(done - issue);
+        }
+        assert_eq!(
+            lat_by_rf[0], lat_by_rf[1],
+            "read path must be identical across RF"
+        );
+    }
+
+    #[test]
+    fn server_down_errors_without_failover() {
+        let mut h = Harness::new(config(2, 4, 100));
+        h.run_one(StoreOp::Insert {
+            key: key(10),
+            value: k("v"),
+        });
+        let server = h.cluster.regions().get(0).server;
+        h.cluster.servers[server.index()].fail();
+        let r = h.run_one(StoreOp::Read { key: key(10) });
+        assert_eq!(r.result, OpResult::Error(OpError::ServerDown));
+        assert!(h.cluster.metrics().server_down >= 1);
+    }
+
+    #[test]
+    fn failover_moves_regions_and_keeps_data_readable() {
+        let mut cfg = config(3, 4, 400);
+        cfg.lsm.memtable_flush_bytes = 4 * 1024;
+        let mut h = Harness::new(cfg);
+        for i in 0..400u64 {
+            h.cluster.load_direct(key(i), k("v"), 1);
+        }
+        h.cluster.flush_all();
+        let victim = h.cluster.regions().get(0).server;
+        h.cluster.fail_server(victim);
+        assert!(h.cluster.metrics().regions_moved > 0);
+        assert!(h.cluster.regions().on_server(victim).is_empty());
+        // A key from the moved region is still readable (remote blocks).
+        let r = h.run_one(StoreOp::Read { key: key(5) });
+        assert!(matches!(r.result, OpResult::Value(Some(_))), "{r:?}");
+    }
+
+    #[test]
+    fn failover_restores_dfs_replication() {
+        let mut cfg = config(3, 6, 300);
+        cfg.lsm.memtable_flush_bytes = 4 * 1024;
+        let mut h = Harness::new(cfg);
+        for i in 0..300u64 {
+            h.cluster.load_direct(key(i), k("v"), 1);
+        }
+        h.cluster.flush_all();
+        let victim = h.cluster.regions().get(0).server;
+        h.cluster.fail_server(victim);
+        assert!(
+            h.cluster.fs().namenode().under_replicated().is_empty(),
+            "re-replication should have healed all blocks"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut h = Harness::new(config(3, 5, 1000));
+            for i in 0..20u64 {
+                h.submit(StoreOp::Insert {
+                    key: key(i),
+                    value: k("v"),
+                });
+            }
+            let out = h.run();
+            (out.len(), h.sim.now(), h.cluster.metrics().wal_groups)
+        };
+        assert_eq!(run(), run());
+    }
+}

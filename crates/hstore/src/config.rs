@@ -1,0 +1,110 @@
+//! Cluster configuration.
+
+use simkit::{NodeProfile, Topology};
+use storage::{Key, LsmConfig};
+
+/// CPU service times (microseconds) for the HBase-analog request path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceCosts {
+    /// Region-server request handling (parse, route to region).
+    pub server_us: u64,
+    /// Per-node cost of relaying one WAL pipeline packet.
+    pub wal_hop_us: u64,
+    /// Memstore apply cost per mutation.
+    pub apply_us: u64,
+    /// Replica-side read handling.
+    pub read_us: u64,
+    /// Per-row scan cost.
+    pub scan_row_us: u64,
+    /// Fixed per-message overhead bytes.
+    pub msg_overhead_bytes: u64,
+    /// Service-time variability: 0 = deterministic, 1 = exponential.
+    pub jitter: f64,
+}
+
+impl Default for ServiceCosts {
+    fn default() -> Self {
+        // Calibrated to 2014-era request-path costs (JVM RPC stacks): a
+        // full single-op handling path lands around a millisecond, which
+        // keeps the WAL pipeline's per-hop delta proportionally small — the
+        // paper's "no significant change" in HBase write latency vs RF.
+        Self {
+            server_us: 700,
+            wal_hop_us: 20,
+            apply_us: 200,
+            read_us: 400,
+            scan_row_us: 5,
+            msg_overhead_bytes: 100,
+            jitter: 1.0,
+        }
+    }
+}
+
+/// Full configuration of a simulated HBase-analog cluster.
+#[derive(Debug, Clone)]
+pub struct HStoreConfig {
+    /// Number of region servers (the paper: 15; the master shares the
+    /// client machine and is not on the serving path).
+    pub nodes: usize,
+    /// HDFS replication factor (the paper sweeps 1..=6).
+    pub replication_factor: u32,
+    /// Region start keys (sorted; the first region implicitly starts at the
+    /// empty key if the list doesn't). One region per entry, assigned
+    /// round-robin by the master.
+    pub region_splits: Vec<Key>,
+    /// Per-region storage tuning. `cache_bytes` is interpreted per *server*
+    /// and divided among its regions.
+    pub lsm: LsmConfig,
+    /// Hardware of each node.
+    pub profile: NodeProfile,
+    /// Rack layout.
+    pub topology: Topology,
+    /// CPU service times.
+    pub costs: ServiceCosts,
+    /// Roll the WAL block after this many bytes (HDFS block size).
+    pub wal_block_bytes: u64,
+    /// Background (flush/compaction) disk-I/O throttle, bytes/second per
+    /// node — real HBase/HDFS deployments rate-limit compaction similarly.
+    pub bg_io_rate: u64,
+    /// Mean interval between stop-the-world pauses per node (JVM garbage
+    /// collection). 0 disables.
+    pub pause_interval_us: u64,
+    /// Duration of each pause.
+    pub pause_duration_us: u64,
+}
+
+impl HStoreConfig {
+    /// The paper's testbed shape: 15 region servers, one rack, defaults
+    /// everywhere else. `region_splits` carves the key space.
+    pub fn paper_testbed(replication_factor: u32, region_splits: Vec<Key>) -> Self {
+        let profile = NodeProfile::paper_testbed();
+        Self {
+            nodes: 15,
+            replication_factor,
+            region_splits,
+            lsm: LsmConfig::default(),
+            profile,
+            topology: Topology::single_rack(15, profile.nic.prop_us),
+            costs: ServiceCosts::default(),
+            wal_block_bytes: 4 * 1024 * 1024,
+            bg_io_rate: 16_000_000,
+            pause_interval_us: 0,
+            pause_duration_us: 50_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = HStoreConfig::paper_testbed(3, vec![Bytes::from_static(b"m")]);
+        assert_eq!(c.nodes, 15);
+        assert_eq!(c.replication_factor, 3);
+        assert_eq!(c.topology.len(), 15);
+        assert_eq!(c.costs.server_us, 700);
+    }
+}

@@ -1,0 +1,53 @@
+//! The cluster's internal event vocabulary.
+
+use simkit::NodeId;
+use storage::{Key, OpResult};
+
+/// An internal simulation event of the HBase-analog cluster.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A client request fully arrived at its region server.
+    Arrive {
+        /// Operation id (the driver token).
+        op: u64,
+    },
+    /// A WAL group commit's pipeline round trip finished on a server.
+    WalFlushDone {
+        /// The region server whose WAL group completed.
+        server: NodeId,
+        /// The mutations covered by this group.
+        group: Vec<u64>,
+    },
+    /// A scan leg arrived at the server of `region`.
+    ScanExec {
+        /// Operation id.
+        op: u64,
+        /// Region index to scan.
+        region: usize,
+        /// First key of this leg.
+        start: Key,
+    },
+    /// The final response reached the client.
+    Deliver {
+        /// The driver token.
+        token: u64,
+        /// The outcome.
+        result: OpResult,
+    },
+    /// Give up on an incomplete operation.
+    Timeout {
+        /// Operation id.
+        op: u64,
+    },
+    /// Trickle one chunk of throttled background (flush/compaction) disk
+    /// I/O on a server.
+    BgIo {
+        /// The server draining its backlog.
+        server: NodeId,
+    },
+    /// A stop-the-world pause (JVM GC) begins on a server.
+    GcPause {
+        /// The pausing server.
+        server: NodeId,
+    },
+}

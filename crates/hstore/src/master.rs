@@ -1,0 +1,123 @@
+//! The master: region assignment and failover planning.
+//!
+//! The master is off the serving path (clients cache region locations, as
+//! with HBase's META table); it matters when a region server dies and its
+//! regions must move.
+
+use simkit::NodeId;
+
+use crate::region::RegionMap;
+
+/// One region move decided by the master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reassignment {
+    /// The region being moved.
+    pub region: usize,
+    /// The server it was on.
+    pub from: NodeId,
+    /// Its new server.
+    pub to: NodeId,
+}
+
+/// The cluster master.
+#[derive(Debug, Clone, Default)]
+pub struct Master {
+    reassignments: u64,
+}
+
+impl Master {
+    /// A fresh master.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total region moves performed.
+    pub fn reassignments(&self) -> u64 {
+        self.reassignments
+    }
+
+    /// Move every region off `dead`, spreading them over the `live` servers
+    /// with the fewest regions. Updates the region map and returns the moves.
+    pub fn fail_over(
+        &mut self,
+        regions: &mut RegionMap,
+        dead: NodeId,
+        live: &[NodeId],
+    ) -> Vec<Reassignment> {
+        assert!(!live.is_empty(), "no live servers to fail over to");
+        let mut load: Vec<(usize, NodeId)> = live
+            .iter()
+            .map(|&s| (regions.on_server(s).len(), s))
+            .collect();
+        let mut moves = Vec::new();
+        for idx in regions.on_server(dead) {
+            load.sort_by_key(|&(n, s)| (n, s.0));
+            let (count, target) = load[0];
+            load[0] = (count + 1, target);
+            regions.get_mut(idx).server = target;
+            moves.push(Reassignment {
+                region: idx,
+                from: dead,
+                to: target,
+            });
+            self.reassignments += 1;
+        }
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use storage::LsmConfig;
+
+    fn k(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn failover_moves_all_regions_off_dead_server() {
+        let mut regions = RegionMap::new(
+            vec![k("d"), k("h"), k("m"), k("r"), k("w")],
+            3,
+            LsmConfig::default(),
+        );
+        let mut master = Master::new();
+        let dead = NodeId(0);
+        let live = [NodeId(1), NodeId(2)];
+        let owned_before = regions.on_server(dead).len();
+        assert!(owned_before > 0);
+        let moves = master.fail_over(&mut regions, dead, &live);
+        assert_eq!(moves.len(), owned_before);
+        assert!(regions.on_server(dead).is_empty());
+        assert_eq!(master.reassignments(), owned_before as u64);
+        for m in &moves {
+            assert!(live.contains(&m.to));
+            assert_eq!(m.from, dead);
+        }
+    }
+
+    #[test]
+    fn failover_balances_targets() {
+        // Nine regions over three servers; kill one, its three regions
+        // should split as evenly as possible over the two survivors.
+        let splits: Vec<Bytes> = (1..9)
+            .map(|i| Bytes::from(format!("{i}").into_bytes()))
+            .collect();
+        let mut regions = RegionMap::new(splits, 3, LsmConfig::default());
+        let mut master = Master::new();
+        master.fail_over(&mut regions, NodeId(0), &[NodeId(1), NodeId(2)]);
+        let a = regions.on_server(NodeId(1)).len();
+        let b = regions.on_server(NodeId(2)).len();
+        assert_eq!(a + b, 9);
+        assert!(a.abs_diff(b) <= 1, "unbalanced: {a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no live servers")]
+    fn failover_needs_survivors() {
+        let mut regions = RegionMap::new(vec![k("m")], 1, LsmConfig::default());
+        Master::new().fail_over(&mut regions, NodeId(0), &[]);
+    }
+}

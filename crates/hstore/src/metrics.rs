@@ -1,0 +1,61 @@
+//! Cluster behaviour counters.
+
+/// Counters accumulated by a [`crate::Cluster`] during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Point reads served.
+    pub reads: u64,
+    /// Writes served.
+    pub writes: u64,
+    /// Scans served.
+    pub scans: u64,
+    /// Operations rejected because the serving region's server is down.
+    pub server_down: u64,
+    /// WAL group commits (pipeline round trips).
+    pub wal_groups: u64,
+    /// Mutations covered by those group commits.
+    pub wal_entries: u64,
+    /// WAL blocks rolled.
+    pub wal_blocks_rolled: u64,
+    /// Memstore flushes.
+    pub flushes: u64,
+    /// Compactions.
+    pub compactions: u64,
+    /// Regions moved by failover.
+    pub regions_moved: u64,
+    /// Stop-the-world pauses taken across the cluster.
+    pub gc_pauses: u64,
+}
+
+impl Metrics {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean mutations per WAL group commit — >1 means group commit is
+    /// actually batching.
+    pub fn wal_batching(&self) -> f64 {
+        if self.wal_groups == 0 {
+            0.0
+        } else {
+            self.wal_entries as f64 / self.wal_groups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batching_ratio() {
+        let m = Metrics {
+            wal_groups: 10,
+            wal_entries: 35,
+            ..Metrics::new()
+        };
+        assert!((m.wal_batching() - 3.5).abs() < 1e-12);
+        assert_eq!(Metrics::new().wal_batching(), 0.0);
+    }
+}

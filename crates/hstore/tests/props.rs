@@ -1,0 +1,80 @@
+//! Property-based tests for region routing and failover invariants.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use simkit::NodeId;
+use storage::LsmConfig;
+
+use hstore::{Master, RegionMap};
+
+fn k(id: u64) -> Bytes {
+    Bytes::from(format!("user{id:08}").into_bytes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every key routes to exactly the region whose range contains it, and
+    /// the regions partition the key space.
+    #[test]
+    fn regions_partition_the_key_space(
+        split_ids in prop::collection::btree_set(1u64..10_000, 0..12),
+        servers in 1usize..8,
+        probe in 0u64..20_000,
+    ) {
+        let splits: Vec<Bytes> = split_ids.iter().map(|&s| k(s)).collect();
+        let map = RegionMap::new(splits, servers, LsmConfig::default());
+        let key = k(probe);
+        let idx = map.region_of(&key);
+        prop_assert!(map.get(idx).contains(&key));
+        // No other region claims it.
+        for other in 0..map.len() {
+            if other != idx {
+                prop_assert!(!map.get(other).contains(&key));
+            }
+        }
+        // The empty key routes to region 0.
+        prop_assert_eq!(map.region_of(b""), 0);
+    }
+
+    /// Region assignment is balanced to within one region per server.
+    #[test]
+    fn assignment_is_balanced(regions in 0usize..30, servers in 1usize..10) {
+        let splits: Vec<Bytes> = (1..=regions as u64).map(k).collect();
+        let map = RegionMap::new(splits, servers, LsmConfig::default());
+        let counts: Vec<usize> = (0..servers as u32)
+            .map(|s| map.on_server(NodeId(s)).len())
+            .collect();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced: {counts:?}");
+        prop_assert_eq!(counts.iter().sum::<usize>(), map.len());
+    }
+
+    /// Failover always empties the dead server and keeps every region
+    /// assigned to a live server, balanced to within one.
+    #[test]
+    fn failover_preserves_coverage(
+        regions in 1usize..25,
+        servers in 2usize..8,
+        dead in 0u32..8,
+    ) {
+        let splits: Vec<Bytes> = (1..=regions as u64).map(k).collect();
+        let mut map = RegionMap::new(splits, servers, LsmConfig::default());
+        let dead = NodeId(dead % servers as u32);
+        let live: Vec<NodeId> = (0..servers as u32)
+            .map(NodeId)
+            .filter(|&n| n != dead)
+            .collect();
+        let total = map.len();
+        let mut master = Master::new();
+        let moves = master.fail_over(&mut map, dead, &live);
+        prop_assert!(map.on_server(dead).is_empty());
+        let live_counts: Vec<usize> = live.iter().map(|&s| map.on_server(s).len()).collect();
+        prop_assert_eq!(live_counts.iter().sum::<usize>(), total, "regions lost");
+        prop_assert_eq!(master.reassignments(), moves.len() as u64);
+        for m in &moves {
+            prop_assert!(live.contains(&m.to));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # simkit — discrete-event simulation kernel
+//!
+//! This crate is the temporal substrate for the reproduction of *Wang et al.,
+//! "Benchmarking Replication and Consistency Strategies in Cloud Serving
+//! Databases: HBase and Cassandra"* (BPOE 2014). The paper ran on a physical
+//! 16-machine rack; we substitute a deterministic discrete-event simulation of
+//! that rack, calibrated to the paper's hardware (2× Xeon L5640, 32 GB RAM,
+//! one HDD, 1 GbE, single rack).
+//!
+//! The kernel is intentionally small:
+//!
+//! * [`SimTime`] — virtual time in microseconds.
+//! * [`EventQueue`] / [`Sim`] — a binary-heap event queue with a stable
+//!   tie-break, plus the simulation context (clock + queue + RNG) that models
+//!   schedule into.
+//! * [`resource`] — analytic FIFO queueing resources: single-server
+//!   ([`FifoResource`]), multi-server ([`MultiServer`], used for CPU cores).
+//!   Because events are dispatched in time order, calling
+//!   `acquire(now, service)` at the simulated arrival instant yields exact
+//!   FIFO queueing behaviour without per-request events.
+//! * [`hardware`] — disk (seek + transfer), NIC (serialization +
+//!   propagation) and whole-node models with profiles for the paper's
+//!   testbed.
+//! * [`topology`] — cluster/rack layout and inter-node latency.
+//! * [`rng`] — a seedable, platform-stable xoshiro256** RNG implementing
+//!   `rand::RngCore`, so every experiment is reproducible bit-for-bit.
+//!
+//! Latency and throughput in the reproduced figures *emerge* from contention
+//! on these resources; nothing in the upper layers hard-codes a curve.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hardware;
+pub mod queue;
+pub mod resource;
+pub mod rng;
+pub mod sim;
+pub mod time;
+pub mod topology;
+
+pub use hardware::{Disk, DiskProfile, Nic, NicProfile, NodeHw, NodeProfile};
+pub use queue::EventQueue;
+pub use resource::{FifoResource, MultiServer};
+pub use rng::SimRng;
+pub use sim::Sim;
+pub use time::{SimTime, MICROS_PER_MILLI, MICROS_PER_SEC};
+pub use topology::{NodeId, Topology};

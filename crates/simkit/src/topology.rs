@@ -1,0 +1,131 @@
+//! Cluster topology: node identities, rack placement, propagation delays.
+//!
+//! The paper deliberately uses a single rack "to reduce interferences from
+//! the partition problem"; the default topology mirrors that. Multi-rack
+//! layouts are supported for the geo-latency extension experiments the paper
+//! lists as future work.
+
+use crate::time::SimTime;
+
+/// Identity of a server node within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index, for indexing into node vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Rack placement and network distances for a cluster.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    rack_of: Vec<u32>,
+    intra_rack_us: u64,
+    inter_rack_us: u64,
+}
+
+impl Topology {
+    /// A single rack of `n` nodes with `prop_us` one-way propagation between
+    /// any pair — the paper's testbed shape.
+    pub fn single_rack(n: usize, prop_us: u64) -> Self {
+        Self {
+            rack_of: vec![0; n],
+            intra_rack_us: prop_us,
+            inter_rack_us: prop_us,
+        }
+    }
+
+    /// Multiple racks of equal size. Nodes are assigned round-robin so
+    /// consecutive node ids land in different racks.
+    pub fn racks(n: usize, racks: u32, intra_rack_us: u64, inter_rack_us: u64) -> Self {
+        assert!(racks > 0);
+        Self {
+            rack_of: (0..n as u32).map(|i| i % racks).collect(),
+            intra_rack_us,
+            inter_rack_us,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.rack_of.len()
+    }
+
+    /// True when the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.rack_of.is_empty()
+    }
+
+    /// Rack index of a node.
+    pub fn rack(&self, node: NodeId) -> u32 {
+        self.rack_of[node.index()]
+    }
+
+    /// One-way propagation delay between two nodes. Loopback is free.
+    pub fn prop_us(&self, from: NodeId, to: NodeId) -> SimTime {
+        if from == to {
+            0
+        } else if self.rack(from) == self.rack(to) {
+            self.intra_rack_us
+        } else {
+            self.inter_rack_us
+        }
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.rack_of.len() as u32).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rack_uniform_latency() {
+        let t = Topology::single_rack(15, 50);
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.prop_us(NodeId(0), NodeId(14)), 50);
+        assert_eq!(t.prop_us(NodeId(3), NodeId(3)), 0);
+    }
+
+    #[test]
+    fn multi_rack_distances() {
+        let t = Topology::racks(6, 2, 50, 500);
+        // Round-robin: nodes 0,2,4 in rack 0; 1,3,5 in rack 1.
+        assert_eq!(t.rack(NodeId(0)), 0);
+        assert_eq!(t.rack(NodeId(1)), 1);
+        assert_eq!(t.prop_us(NodeId(0), NodeId(2)), 50);
+        assert_eq!(t.prop_us(NodeId(0), NodeId(1)), 500);
+    }
+
+    #[test]
+    fn node_iteration_covers_all() {
+        let t = Topology::single_rack(4, 10);
+        let ids: Vec<_> = t.nodes().collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+
+    #[test]
+    fn empty_topology() {
+        let t = Topology::single_rack(0, 50);
+        assert!(t.is_empty());
+        assert_eq!(t.nodes().count(), 0);
+    }
+}

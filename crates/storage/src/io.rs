@@ -1,0 +1,156 @@
+//! The I/O-plan contract between the storage engine and the simulator.
+//!
+//! Storage operations are computed functionally and report what they *would*
+//! have done to a disk. The database layers translate each [`IoPlan`] into
+//! simulated disk/CPU time on the owning node. Keeping this a plain data
+//! structure keeps `storage` free of any simulation dependency and makes the
+//! plans directly assertable in tests.
+
+/// One unit of I/O performed by a storage operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Served from the memtable; no device access.
+    MemtableHit,
+    /// Served from the block cache; no device access.
+    CacheHit {
+        /// Bytes read from cache (for CPU-cost accounting).
+        bytes: u64,
+    },
+    /// A random disk read: one positioning cost plus a transfer.
+    DiskRead {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// A sequential disk read (follow-on blocks of a scan or compaction).
+    DiskSeqRead {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// A sequential disk write (flush, compaction output, log segment).
+    DiskSeqWrite {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// A bloom-filter check that skipped a table (CPU only; recorded so
+    /// tests can assert bloom effectiveness).
+    BloomSkip,
+}
+
+/// An ordered record of the I/O a storage operation performed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoPlan {
+    ops: Vec<IoOp>,
+}
+
+impl IoPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one I/O op.
+    pub fn push(&mut self, op: IoOp) {
+        self.ops.push(op);
+    }
+
+    /// Append all ops from another plan.
+    pub fn extend(&mut self, other: IoPlan) {
+        self.ops.extend(other.ops);
+    }
+
+    /// The recorded ops in execution order.
+    pub fn ops(&self) -> &[IoOp] {
+        &self.ops
+    }
+
+    /// Number of random disk reads (each pays a positioning cost).
+    pub fn random_reads(&self) -> u32 {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, IoOp::DiskRead { .. }))
+            .count() as u32
+    }
+
+    /// Total bytes that must come off the disk (random + sequential reads).
+    pub fn disk_read_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                IoOp::DiskRead { bytes } | IoOp::DiskSeqRead { bytes } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes written to disk.
+    pub fn disk_write_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                IoOp::DiskSeqWrite { bytes } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Bytes served from the block cache.
+    pub fn cache_hit_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                IoOp::CacheHit { bytes } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Count of bloom-filter skips.
+    pub fn bloom_skips(&self) -> u32 {
+        self.ops.iter().filter(|o| matches!(o, IoOp::BloomSkip)).count() as u32
+    }
+
+    /// True when the operation never left memory.
+    pub fn is_memory_only(&self) -> bool {
+        self.disk_read_bytes() == 0 && self.disk_write_bytes() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_by_kind() {
+        let mut p = IoPlan::new();
+        p.push(IoOp::MemtableHit);
+        p.push(IoOp::CacheHit { bytes: 100 });
+        p.push(IoOp::DiskRead { bytes: 4096 });
+        p.push(IoOp::DiskSeqRead { bytes: 8192 });
+        p.push(IoOp::DiskSeqWrite { bytes: 1000 });
+        p.push(IoOp::BloomSkip);
+        assert_eq!(p.random_reads(), 1);
+        assert_eq!(p.disk_read_bytes(), 4096 + 8192);
+        assert_eq!(p.disk_write_bytes(), 1000);
+        assert_eq!(p.cache_hit_bytes(), 100);
+        assert_eq!(p.bloom_skips(), 1);
+        assert!(!p.is_memory_only());
+    }
+
+    #[test]
+    fn memory_only_detection() {
+        let mut p = IoPlan::new();
+        p.push(IoOp::MemtableHit);
+        p.push(IoOp::CacheHit { bytes: 64 });
+        assert!(p.is_memory_only());
+    }
+
+    #[test]
+    fn extend_concatenates_in_order() {
+        let mut a = IoPlan::new();
+        a.push(IoOp::MemtableHit);
+        let mut b = IoPlan::new();
+        b.push(IoOp::BloomSkip);
+        a.extend(b);
+        assert_eq!(a.ops(), &[IoOp::MemtableHit, IoOp::BloomSkip]);
+    }
+}

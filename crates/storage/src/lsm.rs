@@ -1,0 +1,685 @@
+//! The assembled LSM tree: WAL + memtable + SSTables + block cache +
+//! compaction, with I/O-plan accounting on every operation.
+//!
+//! One `LsmTree` is the storage engine of one replica on one node (a region
+//! in `hstore`, a node's keyspace shard set in `cstore`).
+
+use crate::cache::{BlockCache, BlockKey, CacheStats};
+use crate::compaction::SizeTieredPolicy;
+use crate::io::{IoOp, IoPlan};
+use crate::memtable::Memtable;
+use crate::merge::merge_entries;
+use crate::sstable::{SsTable, TableId};
+use crate::types::{Cell, Key};
+use crate::wal::WriteAheadLog;
+
+/// Tuning knobs for one LSM tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LsmConfig {
+    /// Target encoded block size (the disk-I/O and cache unit).
+    pub block_size: u64,
+    /// Memtable size that triggers a flush.
+    pub memtable_flush_bytes: u64,
+    /// Block-cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Compaction policy.
+    pub compaction: SizeTieredPolicy,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        Self {
+            block_size: 8 * 1024,
+            memtable_flush_bytes: 2 * 1024 * 1024,
+            cache_bytes: 8 * 1024 * 1024,
+            compaction: SizeTieredPolicy::default(),
+        }
+    }
+}
+
+/// Outcome of a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteReceipt {
+    /// Encoded bytes appended to the WAL (for log-bandwidth accounting).
+    pub wal_bytes: u64,
+    /// True when the memtable crossed its flush threshold.
+    pub flush_due: bool,
+}
+
+/// Outcome of a point read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadResult {
+    /// The newest cell across memtable and all runs, if any.
+    pub cell: Option<Cell>,
+    /// The I/O performed.
+    pub io: IoPlan,
+}
+
+/// Outcome of a range scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanResult {
+    /// Up to `limit` live rows starting at the scan key.
+    pub rows: Vec<(Key, Cell)>,
+    /// The I/O performed.
+    pub io: IoPlan,
+}
+
+/// Outcome of a memtable flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushReceipt {
+    /// The new table.
+    pub table: TableId,
+    /// Bytes written sequentially to disk.
+    pub bytes: u64,
+    /// True when the flush made a compaction bucket ripe.
+    pub compaction_due: bool,
+}
+
+/// Outcome of a compaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionReceipt {
+    /// Tables consumed.
+    pub inputs: Vec<TableId>,
+    /// The replacement table.
+    pub output: TableId,
+    /// Bytes read sequentially from disk.
+    pub read_bytes: u64,
+    /// Bytes written sequentially to disk.
+    pub write_bytes: u64,
+}
+
+/// A single replica's LSM storage engine.
+#[derive(Debug, Clone)]
+pub struct LsmTree {
+    config: LsmConfig,
+    wal: WriteAheadLog,
+    memtable: Memtable,
+    /// Oldest first; reads reconcile across all runs.
+    tables: Vec<SsTable>,
+    cache: BlockCache,
+    next_table_id: u64,
+}
+
+impl LsmTree {
+    /// Create an empty tree.
+    pub fn new(config: LsmConfig) -> Self {
+        Self {
+            config,
+            wal: WriteAheadLog::new(),
+            memtable: Memtable::new(),
+            tables: Vec::new(),
+            cache: BlockCache::new(config.cache_bytes),
+            next_table_id: 1,
+        }
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &LsmConfig {
+        &self.config
+    }
+
+    /// Apply a write: WAL append then memtable insert.
+    pub fn put(&mut self, key: Key, cell: Cell) -> WriteReceipt {
+        let (_seq, wal_bytes) = self.wal.append(key.clone(), cell.clone());
+        self.memtable.insert(key, cell);
+        WriteReceipt {
+            wal_bytes,
+            flush_due: self.memtable.bytes() >= self.config.memtable_flush_bytes,
+        }
+    }
+
+    /// Point read reconciling memtable and every run the bloom filters admit.
+    pub fn get(&mut self, key: &[u8]) -> ReadResult {
+        let mut io = IoPlan::new();
+        let mut newest: Option<Cell> = None;
+        if let Some(cell) = self.memtable.get(key) {
+            io.push(IoOp::MemtableHit);
+            newest = Some(cell.clone());
+        }
+        // Check every run; last-write-wins decides, so order is irrelevant.
+        for t in 0..self.tables.len() {
+            let (found, table_io) = Self::get_from_table(&mut self.cache, &self.tables[t], key);
+            io.extend(table_io);
+            if let Some(cell) = found {
+                newest = Some(match newest {
+                    Some(prev) => Cell::reconcile(prev, cell),
+                    None => cell,
+                });
+            }
+        }
+        ReadResult { cell: newest, io }
+    }
+
+    fn get_from_table(
+        cache: &mut BlockCache,
+        table: &SsTable,
+        key: &[u8],
+    ) -> (Option<Cell>, IoPlan) {
+        let mut io = IoPlan::new();
+        if !table.may_contain(key) {
+            io.push(IoOp::BloomSkip);
+            return (None, io);
+        }
+        let Some(block) = table.block_for(key) else {
+            io.push(IoOp::BloomSkip);
+            return (None, io);
+        };
+        let bkey = BlockKey {
+            table: table.id(),
+            block: block as u32,
+        };
+        let bytes = table.block_len(block);
+        if cache.get(bkey).is_some() {
+            io.push(IoOp::CacheHit { bytes });
+        } else {
+            io.push(IoOp::DiskRead { bytes });
+            cache.insert(bkey, bytes);
+        }
+        (table.get_in_block(block, key).cloned(), io)
+    }
+
+    /// Range scan: merge memtable and all runs from `start`, return up to
+    /// `limit` live rows (tombstoned rows are skipped but still cost I/O).
+    pub fn scan(&mut self, start: &[u8], limit: usize) -> ScanResult {
+        let mut io = IoPlan::new();
+        // Functional pass: merge all sources. Each source only needs its
+        // first `limit` entries ≥ start: the k-th smallest key of the union
+        // is no larger than the k-th smallest key of any single source, so a
+        // per-source prefix of `limit` covers the first `limit` merged keys.
+        // (A small slack absorbs tombstoned rows, which are consumed but not
+        // returned; workloads that mass-delete may see short scans.)
+        let take = limit.saturating_add(16);
+        let mem: Vec<(Key, Cell)> = self
+            .memtable
+            .range_from(start)
+            .take(take)
+            .map(|(k, c)| (k.clone(), c.clone()))
+            .collect();
+        let mut sources = vec![mem];
+        for t in &self.tables {
+            sources.push(t.entries_from(start).take(take).cloned().collect());
+        }
+        let merged = merge_entries(sources, false);
+        let mut rows = Vec::with_capacity(limit);
+        let mut last_key: Option<Key> = None;
+        for (key, cell) in merged {
+            if rows.len() >= limit {
+                break;
+            }
+            last_key = Some(key.clone());
+            if !cell.is_tombstone() {
+                rows.push((key, cell));
+            }
+        }
+        // I/O pass: every block in [start, last_key] of every run was read.
+        if let Some(end) = &last_key {
+            for t in 0..self.tables.len() {
+                let plan = Self::scan_io_for_table(&mut self.cache, &self.tables[t], start, end);
+                io.extend(plan);
+            }
+        }
+        ScanResult { rows, io }
+    }
+
+    fn scan_io_for_table(
+        cache: &mut BlockCache,
+        table: &SsTable,
+        start: &[u8],
+        end: &Key,
+    ) -> IoPlan {
+        let mut io = IoPlan::new();
+        if table.is_empty() {
+            return io;
+        }
+        let lo = table.lower_bound(start);
+        if lo >= table.len() {
+            return io;
+        }
+        // Index of the last entry <= end.
+        let hi = table.lower_bound(end.as_ref());
+        let hi_idx = if hi < table.len() && table.entries()[hi].0 == *end {
+            hi
+        } else if hi == 0 {
+            return io; // whole range sorts before this table
+        } else {
+            hi - 1
+        };
+        if hi_idx < lo {
+            return io;
+        }
+        let first_block = table.block_of_entry(lo);
+        let last_block = table.block_of_entry(hi_idx);
+        for (i, block) in (first_block..=last_block).enumerate() {
+            let bkey = BlockKey {
+                table: table.id(),
+                block: block as u32,
+            };
+            let bytes = table.block_len(block);
+            if cache.get(bkey).is_some() {
+                io.push(IoOp::CacheHit { bytes });
+            } else {
+                if i == 0 {
+                    io.push(IoOp::DiskRead { bytes });
+                } else {
+                    io.push(IoOp::DiskSeqRead { bytes });
+                }
+                cache.insert(bkey, bytes);
+            }
+        }
+        io
+    }
+
+    /// Flush the memtable into a new SSTable. Returns `None` when there is
+    /// nothing to flush.
+    pub fn flush(&mut self) -> Option<FlushReceipt> {
+        if self.memtable.is_empty() {
+            return None;
+        }
+        let watermark = self.wal.last_seq();
+        let entries = self.memtable.drain_sorted();
+        let id = TableId(self.next_table_id);
+        self.next_table_id += 1;
+        let table = SsTable::build(id, entries, self.config.block_size);
+        let bytes = table.total_bytes();
+        self.tables.push(table);
+        self.wal.truncate_through(watermark);
+        let compaction_due = self
+            .config
+            .compaction
+            .pick(&self.table_sizes())
+            .is_some();
+        Some(FlushReceipt {
+            table: id,
+            bytes,
+            compaction_due,
+        })
+    }
+
+    fn table_sizes(&self) -> Vec<(TableId, u64)> {
+        self.tables
+            .iter()
+            .map(|t| (t.id(), t.total_bytes()))
+            .collect()
+    }
+
+    /// Run one compaction if the policy finds a ripe bucket.
+    pub fn maybe_compact(&mut self) -> Option<CompactionReceipt> {
+        let inputs = self.config.compaction.pick(&self.table_sizes())?;
+        let major = inputs.len() == self.tables.len();
+        let mut consumed = Vec::new();
+        let mut read_bytes = 0;
+        let mut kept = Vec::new();
+        for table in self.tables.drain(..) {
+            if inputs.contains(&table.id()) {
+                read_bytes += table.total_bytes();
+                consumed.push(table);
+            } else {
+                kept.push(table);
+            }
+        }
+        let sources: Vec<Vec<(Key, Cell)>> = consumed
+            .iter()
+            .map(|t| t.entries().to_vec())
+            .collect();
+        // Tombstones can only be dropped when no older run might still hold
+        // a shadowed value.
+        let merged = merge_entries(sources, major);
+        let id = TableId(self.next_table_id);
+        self.next_table_id += 1;
+        let output = SsTable::build(id, merged, self.config.block_size);
+        let write_bytes = output.total_bytes();
+        for t in &consumed {
+            self.cache.invalidate_table(t.id());
+        }
+        kept.push(output);
+        self.tables = kept;
+        Some(CompactionReceipt {
+            inputs,
+            output: id,
+            read_bytes,
+            write_bytes,
+        })
+    }
+
+    /// Force a major compaction: merge every run into one, purging
+    /// tombstones (`nodetool compact` after a bulk load). Returns `None`
+    /// when there is at most one run.
+    pub fn compact_all(&mut self) -> Option<CompactionReceipt> {
+        if self.tables.len() <= 1 {
+            return None;
+        }
+        let inputs: Vec<TableId> = self.tables.iter().map(|t| t.id()).collect();
+        let mut read_bytes = 0;
+        let sources: Vec<Vec<(Key, Cell)>> = self
+            .tables
+            .drain(..)
+            .map(|t| {
+                read_bytes += t.total_bytes();
+                self.cache.invalidate_table(t.id());
+                t.entries().to_vec()
+            })
+            .collect();
+        let merged = merge_entries(sources, true);
+        let id = TableId(self.next_table_id);
+        self.next_table_id += 1;
+        let output = SsTable::build(id, merged, self.config.block_size);
+        let write_bytes = output.total_bytes();
+        self.tables.push(output);
+        Some(CompactionReceipt {
+            inputs,
+            output: id,
+            read_bytes,
+            write_bytes,
+        })
+    }
+
+    /// Mark WAL bytes synced; returns bytes a background fsync would write.
+    pub fn sync_wal(&mut self) -> u64 {
+        self.wal.sync()
+    }
+
+    /// Simulate a crash-restart: the memtable is lost and rebuilt from the
+    /// WAL; SSTables and cache contents survive (the cache is cold in a real
+    /// restart, but residency is a performance matter handled by callers).
+    pub fn recover(&mut self) {
+        self.memtable = Memtable::new();
+        let entries: Vec<_> = self
+            .wal
+            .replay()
+            .map(|e| (e.key.clone(), e.cell.clone()))
+            .collect();
+        for (key, cell) in entries {
+            self.memtable.insert(key, cell);
+        }
+    }
+
+    /// Number of live SSTables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total bytes across all live SSTables.
+    pub fn table_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.total_bytes()).sum()
+    }
+
+    /// Bytes currently buffered in the memtable.
+    pub fn memtable_bytes(&self) -> u64 {
+        self.memtable.bytes()
+    }
+
+    /// Rows currently buffered in the memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Unsynced WAL bytes.
+    pub fn wal_unsynced_bytes(&self) -> u64 {
+        self.wal.unsynced_bytes()
+    }
+
+    /// Block-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Reset cache counters (warm-up boundary).
+    pub fn reset_cache_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+
+    /// Empty the block cache (a restart or a region move: cold cache).
+    pub fn drop_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Populate the cache as a long-running warmed process would have it:
+    /// every block of every run inserted in order, LRU keeping whatever
+    /// fits. Models the paper's "run the tests for a long time to overcome
+    /// cold start" without burning wall-clock on warm-up operations.
+    pub fn warm_cache(&mut self) {
+        for t in &self.tables {
+            for block in 0..t.block_count() {
+                self.cache.insert(
+                    crate::cache::BlockKey {
+                        table: t.id(),
+                        block: block as u32,
+                    },
+                    t.block_len(block),
+                );
+            }
+        }
+        self.cache.reset_stats();
+    }
+
+    /// Ids and sizes of all live SSTables (oldest first).
+    pub fn tables(&self) -> Vec<(TableId, u64)> {
+        self.table_sizes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn k(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn small_config() -> LsmConfig {
+        LsmConfig {
+            block_size: 256,
+            memtable_flush_bytes: 4 * 1024,
+            cache_bytes: 8 * 1024,
+            compaction: SizeTieredPolicy {
+                min_threshold: 3,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn fill(tree: &mut LsmTree, range: std::ops::Range<usize>, ts: u64) {
+        for i in range {
+            tree.put(
+                k(&format!("user{i:06}")),
+                Cell::live(k(&format!("v{ts}-{i}")), ts),
+            );
+        }
+    }
+
+    #[test]
+    fn read_your_write_from_memtable() {
+        let mut tree = LsmTree::new(small_config());
+        tree.put(k("a"), Cell::live(k("1"), 10));
+        let r = tree.get(b"a");
+        assert_eq!(r.cell.unwrap().value.as_deref(), Some(&b"1"[..]));
+        assert!(r.io.is_memory_only());
+    }
+
+    #[test]
+    fn flush_then_read_costs_disk_then_cache() {
+        let mut tree = LsmTree::new(small_config());
+        fill(&mut tree, 0..100, 1);
+        tree.flush().expect("flushes");
+        assert_eq!(tree.memtable_len(), 0);
+        let first = tree.get(b"user000050");
+        assert!(first.cell.is_some());
+        assert_eq!(first.io.random_reads(), 1);
+        // Same block now cached.
+        let second = tree.get(b"user000050");
+        assert!(second.io.is_memory_only());
+        assert!(second.io.cache_hit_bytes() > 0);
+    }
+
+    #[test]
+    fn newest_value_wins_across_runs() {
+        let mut tree = LsmTree::new(small_config());
+        tree.put(k("a"), Cell::live(k("old"), 1));
+        tree.flush();
+        tree.put(k("a"), Cell::live(k("new"), 2));
+        tree.flush();
+        let r = tree.get(b"a");
+        assert_eq!(r.cell.unwrap().value.as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn out_of_order_arrival_still_reads_newest() {
+        // A newer write can land in an *older* run when replication delivers
+        // out of order; reconciliation across all runs must still win.
+        let mut tree = LsmTree::new(small_config());
+        tree.put(k("a"), Cell::live(k("newest"), 100));
+        tree.flush();
+        tree.put(k("a"), Cell::live(k("late-stale"), 50));
+        tree.flush();
+        let r = tree.get(b"a");
+        assert_eq!(r.cell.unwrap().value.as_deref(), Some(&b"newest"[..]));
+    }
+
+    #[test]
+    fn tombstone_hides_older_value() {
+        let mut tree = LsmTree::new(small_config());
+        tree.put(k("a"), Cell::live(k("v"), 1));
+        tree.flush();
+        tree.put(k("a"), Cell::tombstone(2));
+        let r = tree.get(b"a");
+        assert!(r.cell.unwrap().is_tombstone());
+        // Scans skip it.
+        let s = tree.scan(b"a", 10);
+        assert!(s.rows.is_empty());
+    }
+
+    #[test]
+    fn flush_due_signal_fires() {
+        let mut tree = LsmTree::new(small_config());
+        let mut due = false;
+        for i in 0..1000 {
+            let r = tree.put(k(&format!("user{i:06}")), Cell::live(Bytes::from(vec![7u8; 64]), 1));
+            if r.flush_due {
+                due = true;
+                break;
+            }
+        }
+        assert!(due, "4KiB of 64B values should trip the flush threshold");
+    }
+
+    #[test]
+    fn scan_merges_memtable_and_runs_in_order() {
+        let mut tree = LsmTree::new(small_config());
+        fill(&mut tree, 0..50, 1);
+        tree.flush();
+        fill(&mut tree, 25..75, 2); // overlap: 25..50 updated
+        let s = tree.scan(b"user000020", 10);
+        assert_eq!(s.rows.len(), 10);
+        let keys: Vec<_> = s.rows.iter().map(|(key, _)| key.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // Row 25 must be the ts=2 version.
+        let row25 = s.rows.iter().find(|(key, _)| key == &k("user000025")).unwrap();
+        assert_eq!(row25.1.ts, 2);
+    }
+
+    #[test]
+    fn scan_io_counts_blocks() {
+        let mut tree = LsmTree::new(LsmConfig {
+            cache_bytes: 0, // force every block to disk
+            ..small_config()
+        });
+        fill(&mut tree, 0..200, 1);
+        tree.flush();
+        let s = tree.scan(b"user000000", 100);
+        assert_eq!(s.rows.len(), 100);
+        assert!(s.io.random_reads() >= 1);
+        assert!(s.io.disk_read_bytes() > 0);
+    }
+
+    #[test]
+    fn compaction_reduces_table_count_and_preserves_data() {
+        let mut tree = LsmTree::new(small_config());
+        for round in 0..4 {
+            fill(&mut tree, 0..60, round + 1);
+            tree.flush();
+        }
+        assert_eq!(tree.table_count(), 4);
+        let receipt = tree.maybe_compact().expect("ripe");
+        assert!(receipt.read_bytes > 0);
+        assert!(receipt.write_bytes > 0);
+        assert_eq!(tree.table_count(), 1);
+        // Every key readable at the newest version.
+        for i in 0..60 {
+            let r = tree.get(format!("user{i:06}").as_bytes());
+            assert_eq!(r.cell.unwrap().ts, 4);
+        }
+    }
+
+    #[test]
+    fn major_compaction_purges_tombstones() {
+        let mut tree = LsmTree::new(LsmConfig {
+            compaction: SizeTieredPolicy {
+                min_threshold: 2,
+                bucket_low: 0.0,
+                bucket_high: f64::MAX,
+                ..Default::default()
+            },
+            ..small_config()
+        });
+        fill(&mut tree, 0..20, 1);
+        tree.flush();
+        for i in 0..20 {
+            tree.put(k(&format!("user{i:06}")), Cell::tombstone(2));
+        }
+        tree.flush();
+        tree.maybe_compact().expect("compacts everything");
+        assert_eq!(tree.table_count(), 1);
+        assert_eq!(tree.table_bytes(), 0, "all rows were deleted");
+    }
+
+    #[test]
+    fn bloom_skips_irrelevant_tables() {
+        let mut tree = LsmTree::new(small_config());
+        fill(&mut tree, 0..100, 1);
+        tree.flush();
+        let r = tree.get(b"zebra");
+        assert!(r.cell.is_none());
+        assert_eq!(r.io.bloom_skips(), 1);
+        assert_eq!(r.io.random_reads(), 0);
+    }
+
+    #[test]
+    fn wal_recovery_restores_unflushed_writes() {
+        let mut tree = LsmTree::new(small_config());
+        fill(&mut tree, 0..30, 1);
+        tree.flush();
+        fill(&mut tree, 30..40, 2); // unflushed
+        tree.recover();
+        for i in 0..40 {
+            assert!(
+                tree.get(format!("user{i:06}").as_bytes()).cell.is_some(),
+                "key {i} lost in recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn wal_sync_drains() {
+        let mut tree = LsmTree::new(small_config());
+        tree.put(k("a"), Cell::live(k("1"), 1));
+        assert!(tree.wal_unsynced_bytes() > 0);
+        let n = tree.sync_wal();
+        assert!(n > 0);
+        assert_eq!(tree.wal_unsynced_bytes(), 0);
+    }
+
+    #[test]
+    fn cache_stats_observe_hits() {
+        let mut tree = LsmTree::new(small_config());
+        fill(&mut tree, 0..50, 1);
+        tree.flush();
+        tree.get(b"user000010");
+        tree.get(b"user000010");
+        let stats = tree.cache_stats();
+        assert!(stats.hits >= 1);
+        assert!(stats.misses >= 1);
+    }
+}

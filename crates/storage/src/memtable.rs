@@ -1,0 +1,169 @@
+//! The in-memory sorted write buffer.
+//!
+//! HBase calls this the memstore, Cassandra the memtable. Writes are
+//! absorbed here (after the log append) and served back at memory speed; when
+//! the buffer exceeds its flush threshold it is frozen into an immutable
+//! SSTable.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use crate::types::{entry_encoded_len, Cell, Key};
+
+/// A sorted, size-tracked in-memory table of the newest cell per key.
+#[derive(Debug, Clone, Default)]
+pub struct Memtable {
+    entries: BTreeMap<Key, Cell>,
+    bytes: u64,
+}
+
+impl Memtable {
+    /// An empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a cell, reconciling with any existing version of the key by
+    /// last-write-wins. Returns the change in approximate byte footprint.
+    pub fn insert(&mut self, key: Key, cell: Cell) -> i64 {
+        let new_len = entry_encoded_len(&key, &cell) as i64;
+        match self.entries.entry(key) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(cell);
+                self.bytes = (self.bytes as i64 + new_len) as u64;
+                new_len
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                let old_len = entry_encoded_len(o.key(), o.get()) as i64;
+                let winner = Cell::reconcile(o.get().clone(), cell);
+                let winner_len = entry_encoded_len(o.key(), &winner) as i64;
+                o.insert(winner);
+                let delta = winner_len - old_len;
+                self.bytes = (self.bytes as i64 + delta) as u64;
+                delta
+            }
+        }
+    }
+
+    /// Look up the newest cell for `key`, if buffered here.
+    pub fn get(&self, key: &[u8]) -> Option<&Cell> {
+        self.entries.get(key)
+    }
+
+    /// Iterate entries with key >= `start`, in key order.
+    pub fn range_from<'a>(&'a self, start: &[u8]) -> impl Iterator<Item = (&'a Key, &'a Cell)> {
+        self.entries
+            .range::<[u8], _>((Bound::Included(start), Bound::Unbounded))
+    }
+
+    /// Iterate all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Cell)> {
+        self.entries.iter()
+    }
+
+    /// Number of distinct keys buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate byte footprint (drives flush decisions).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Freeze and drain the table, returning its entries in key order.
+    /// The memtable is empty afterwards.
+    pub fn drain_sorted(&mut self) -> Vec<(Key, Cell)> {
+        self.bytes = 0;
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn k(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn live(s: &str, ts: u64) -> Cell {
+        Cell::live(k(s), ts)
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let mut m = Memtable::new();
+        m.insert(k("a"), live("1", 10));
+        assert_eq!(m.get(b"a"), Some(&live("1", 10)));
+        assert_eq!(m.get(b"b"), None);
+    }
+
+    #[test]
+    fn newer_write_replaces_older() {
+        let mut m = Memtable::new();
+        m.insert(k("a"), live("old", 10));
+        m.insert(k("a"), live("new", 20));
+        assert_eq!(m.get(b"a").unwrap().value.as_deref(), Some(&b"new"[..]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn stale_write_does_not_regress() {
+        let mut m = Memtable::new();
+        m.insert(k("a"), live("new", 20));
+        m.insert(k("a"), live("old", 10));
+        assert_eq!(m.get(b"a").unwrap().value.as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn byte_tracking_grows_and_updates() {
+        let mut m = Memtable::new();
+        assert_eq!(m.bytes(), 0);
+        m.insert(k("a"), live("xx", 1));
+        let after_one = m.bytes();
+        assert!(after_one > 0);
+        // Overwrite with a longer value grows footprint.
+        m.insert(k("a"), live("xxxxxxxx", 2));
+        assert!(m.bytes() > after_one);
+        // Distinct key adds more.
+        m.insert(k("b"), live("y", 1));
+        assert!(m.bytes() > after_one);
+    }
+
+    #[test]
+    fn tombstones_are_stored() {
+        let mut m = Memtable::new();
+        m.insert(k("a"), live("v", 1));
+        m.insert(k("a"), Cell::tombstone(2));
+        assert!(m.get(b"a").unwrap().is_tombstone());
+    }
+
+    #[test]
+    fn range_iteration_is_ordered() {
+        let mut m = Memtable::new();
+        for s in ["d", "a", "c", "b"] {
+            m.insert(k(s), live(s, 1));
+        }
+        let keys: Vec<_> = m.range_from(b"b").map(|(key, _)| key.clone()).collect();
+        assert_eq!(keys, vec![k("b"), k("c"), k("d")]);
+    }
+
+    #[test]
+    fn drain_empties_and_sorts() {
+        let mut m = Memtable::new();
+        m.insert(k("b"), live("2", 1));
+        m.insert(k("a"), live("1", 1));
+        let drained = m.drain_sorted();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, k("a"));
+        assert!(m.is_empty());
+        assert_eq!(m.bytes(), 0);
+    }
+}

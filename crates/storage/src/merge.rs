@@ -1,0 +1,184 @@
+//! K-way merge of sorted runs with last-write-wins reconciliation.
+//!
+//! Used by range scans (merge memtable + every SSTable) and by compaction
+//! (merge input tables into one output). Sources must each be sorted by key
+//! and unique per key; across sources, duplicate keys are reconciled with
+//! [`Cell::reconcile`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::types::{Cell, Key};
+
+struct HeapItem {
+    key: Key,
+    cell: Cell,
+    source: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.source == other.source
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by key (reverse for BinaryHeap); source index only breaks
+        // ties for determinism, reconciliation handles the semantics.
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.source.cmp(&self.source))
+    }
+}
+
+/// Merges multiple sorted `(Key, Cell)` iterators, reconciling duplicate
+/// keys by last-write-wins and emitting each key exactly once, in order.
+pub struct MergeIter<I: Iterator<Item = (Key, Cell)>> {
+    sources: Vec<I>,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl<I: Iterator<Item = (Key, Cell)>> MergeIter<I> {
+    /// Build a merge over `sources`; each must yield strictly increasing keys.
+    pub fn new(sources: Vec<I>) -> Self {
+        let mut merged = Self {
+            sources,
+            heap: BinaryHeap::new(),
+        };
+        for i in 0..merged.sources.len() {
+            merged.advance(i);
+        }
+        merged
+    }
+
+    fn advance(&mut self, source: usize) {
+        if let Some((key, cell)) = self.sources[source].next() {
+            self.heap.push(HeapItem { key, cell, source });
+        }
+    }
+}
+
+impl<I: Iterator<Item = (Key, Cell)>> Iterator for MergeIter<I> {
+    type Item = (Key, Cell);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let first = self.heap.pop()?;
+        self.advance(first.source);
+        let mut key = first.key;
+        let mut cell = first.cell;
+        // Fold in every other source's version of the same key.
+        while let Some(top) = self.heap.peek() {
+            if top.key != key {
+                break;
+            }
+            let dup = self.heap.pop().expect("peeked");
+            self.advance(dup.source);
+            cell = Cell::reconcile(cell, dup.cell);
+            key = dup.key; // same bytes; keeps borrowck simple
+        }
+        Some((key, cell))
+    }
+}
+
+/// Convenience: merge vectors of entries (consumed) into one reconciled,
+/// sorted vector. `drop_tombstones` removes deletion markers from the output
+/// (valid only for a full/major merge where no older data survives).
+pub fn merge_entries(
+    sources: Vec<Vec<(Key, Cell)>>,
+    drop_tombstones: bool,
+) -> Vec<(Key, Cell)> {
+    let iters: Vec<_> = sources.into_iter().map(|v| v.into_iter()).collect();
+    MergeIter::new(iters)
+        .filter(|(_, c)| !(drop_tombstones && c.is_tombstone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn k(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn e(key: &str, val: &str, ts: u64) -> (Key, Cell) {
+        (k(key), Cell::live(k(val), ts))
+    }
+
+    #[test]
+    fn merges_disjoint_sources_in_order() {
+        let out = merge_entries(
+            vec![vec![e("a", "1", 1), e("c", "3", 1)], vec![e("b", "2", 1)]],
+            false,
+        );
+        let keys: Vec<_> = out.iter().map(|(key, _)| key.clone()).collect();
+        assert_eq!(keys, vec![k("a"), k("b"), k("c")]);
+    }
+
+    #[test]
+    fn duplicate_keys_reconcile_to_newest() {
+        let out = merge_entries(
+            vec![vec![e("a", "old", 1)], vec![e("a", "new", 2)], vec![e("a", "mid", 1)]],
+            false,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.value.as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn tombstones_survive_minor_merge() {
+        let out = merge_entries(
+            vec![vec![e("a", "v", 1)], vec![(k("a"), Cell::tombstone(2))]],
+            false,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].1.is_tombstone());
+    }
+
+    #[test]
+    fn tombstones_dropped_in_major_merge() {
+        let out = merge_entries(
+            vec![vec![e("a", "v", 1), e("b", "w", 1)], vec![(k("a"), Cell::tombstone(2))]],
+            true,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, k("b"));
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let out = merge_entries(vec![vec![], vec![e("a", "1", 1)], vec![]], false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(merge_entries(Vec::new(), false).len(), 0);
+    }
+
+    #[test]
+    fn matches_btreemap_oracle_on_fixed_case() {
+        use std::collections::BTreeMap;
+        let sources = vec![
+            vec![e("a", "a1", 3), e("b", "b1", 1), e("d", "d1", 5)],
+            vec![e("a", "a2", 1), e("c", "c2", 2), e("d", "d2", 9)],
+            vec![e("b", "b3", 7), e("e", "e3", 1)],
+        ];
+        let mut oracle: BTreeMap<Key, Cell> = BTreeMap::new();
+        for src in &sources {
+            for (key, cell) in src {
+                oracle
+                    .entry(key.clone())
+                    .and_modify(|c| *c = Cell::reconcile(c.clone(), cell.clone()))
+                    .or_insert_with(|| cell.clone());
+            }
+        }
+        let merged = merge_entries(sources, false);
+        let oracle_vec: Vec<_> = oracle.into_iter().collect();
+        assert_eq!(merged, oracle_vec);
+    }
+}

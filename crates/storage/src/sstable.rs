@@ -1,0 +1,305 @@
+//! Immutable sorted runs (HBase HFiles / Cassandra SSTables).
+//!
+//! A run stores its entries in key order, grouped into fixed-size blocks.
+//! Point reads consult the bloom filter, then the block index, then read one
+//! block; scans read consecutive blocks. The block is the unit of disk I/O
+//! and of block-cache residency.
+
+use crate::bloom::BloomFilter;
+use crate::types::{entry_encoded_len, Cell, Key};
+
+/// Identity of an SSTable within one node's store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u64);
+
+impl std::fmt::Display for TableId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sst{}", self.0)
+    }
+}
+
+/// An immutable sorted run with block structure, index, and bloom filter.
+#[derive(Debug, Clone)]
+pub struct SsTable {
+    id: TableId,
+    entries: Vec<(Key, Cell)>,
+    /// Index into `entries` where each block begins; always starts with 0.
+    block_starts: Vec<u32>,
+    /// First key of each block (the sparse index).
+    block_first_keys: Vec<Key>,
+    /// Encoded bytes per block.
+    block_bytes: Vec<u64>,
+    bloom: BloomFilter,
+    total_bytes: u64,
+}
+
+impl SsTable {
+    /// Build a table from entries that are already sorted by key, unique per
+    /// key. `block_size` is the target encoded block size in bytes.
+    ///
+    /// # Panics
+    /// In debug builds, panics if entries are not strictly sorted.
+    pub fn build(id: TableId, entries: Vec<(Key, Cell)>, block_size: u64) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be strictly sorted by key"
+        );
+        let mut bloom = BloomFilter::with_capacity(entries.len(), 10);
+        let mut block_starts = Vec::new();
+        let mut block_first_keys = Vec::new();
+        let mut block_bytes = Vec::new();
+        let mut total_bytes = 0u64;
+        let mut cur_bytes = 0u64;
+        for (i, (key, cell)) in entries.iter().enumerate() {
+            bloom.insert(key);
+            let len = entry_encoded_len(key, cell);
+            if cur_bytes == 0 {
+                block_starts.push(i as u32);
+                block_first_keys.push(key.clone());
+                block_bytes.push(0);
+            }
+            cur_bytes += len;
+            total_bytes += len;
+            *block_bytes.last_mut().expect("block exists") += len;
+            if cur_bytes >= block_size {
+                cur_bytes = 0;
+            }
+        }
+        Self {
+            id,
+            entries,
+            block_starts,
+            block_first_keys,
+            block_bytes,
+            bloom,
+            total_bytes,
+        }
+    }
+
+    /// The table's identity.
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total encoded bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.block_starts.len()
+    }
+
+    /// Encoded bytes of one block.
+    pub fn block_len(&self, block: usize) -> u64 {
+        self.block_bytes[block]
+    }
+
+    /// Smallest key, if non-empty.
+    pub fn min_key(&self) -> Option<&Key> {
+        self.entries.first().map(|(k, _)| k)
+    }
+
+    /// Largest key, if non-empty.
+    pub fn max_key(&self) -> Option<&Key> {
+        self.entries.last().map(|(k, _)| k)
+    }
+
+    /// Bloom-filter check: false means the key is definitely absent.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.bloom.may_contain(key)
+    }
+
+    /// Which block could contain `key`, or `None` when the key sorts before
+    /// the first block or the table is empty.
+    pub fn block_for(&self, key: &[u8]) -> Option<usize> {
+        if self.block_first_keys.is_empty() {
+            return None;
+        }
+        match self
+            .block_first_keys
+            .binary_search_by(|first| first.as_ref().cmp(key))
+        {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => Some(i - 1),
+        }
+    }
+
+    /// Entry range `[start, end)` of a block within the table.
+    fn block_range(&self, block: usize) -> (usize, usize) {
+        let start = self.block_starts[block] as usize;
+        let end = self
+            .block_starts
+            .get(block + 1)
+            .map_or(self.entries.len(), |&s| s as usize);
+        (start, end)
+    }
+
+    /// Point lookup confined to one block (the caller already paid for
+    /// reading that block).
+    pub fn get_in_block(&self, block: usize, key: &[u8]) -> Option<&Cell> {
+        let (start, end) = self.block_range(block);
+        let slice = &self.entries[start..end];
+        slice
+            .binary_search_by(|(k, _)| k.as_ref().cmp(key))
+            .ok()
+            .map(|i| &slice[i].1)
+    }
+
+    /// Full point lookup (bloom + index + block search); for tests and
+    /// compaction, where I/O accounting is handled elsewhere.
+    pub fn get(&self, key: &[u8]) -> Option<&Cell> {
+        if !self.may_contain(key) {
+            return None;
+        }
+        let block = self.block_for(key)?;
+        self.get_in_block(block, key)
+    }
+
+    /// Index of the first entry with key >= `start`.
+    pub fn lower_bound(&self, start: &[u8]) -> usize {
+        self.entries
+            .partition_point(|(k, _)| k.as_ref() < start)
+    }
+
+    /// Iterate entries from the first key >= `start`.
+    pub fn entries_from(&self, start: &[u8]) -> impl Iterator<Item = &(Key, Cell)> {
+        self.entries[self.lower_bound(start)..].iter()
+    }
+
+    /// All entries in key order.
+    pub fn entries(&self) -> &[(Key, Cell)] {
+        &self.entries
+    }
+
+    /// The block containing entry index `idx`.
+    pub fn block_of_entry(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.entries.len());
+        match self.block_starts.binary_search(&(idx as u32)) {
+            Ok(b) => b,
+            Err(b) => b - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn k(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn table(n: usize, block_size: u64) -> SsTable {
+        let entries: Vec<_> = (0..n)
+            .map(|i| (k(&format!("user{i:06}")), Cell::live(k(&format!("v{i}")), i as u64)))
+            .collect();
+        SsTable::build(TableId(1), entries, block_size)
+    }
+
+    #[test]
+    fn point_lookup_finds_every_key() {
+        let t = table(500, 256);
+        for i in 0..500 {
+            let got = t.get(format!("user{i:06}").as_bytes()).expect("present");
+            assert_eq!(got.value.as_deref(), Some(format!("v{i}").as_bytes()));
+        }
+    }
+
+    #[test]
+    fn absent_keys_return_none() {
+        let t = table(100, 256);
+        assert_eq!(t.get(b"user999999"), None);
+        assert_eq!(t.get(b"aaaa"), None);
+    }
+
+    #[test]
+    fn blocks_partition_the_entries() {
+        let t = table(500, 256);
+        assert!(t.block_count() > 1, "expected multiple blocks");
+        let total: u64 = (0..t.block_count()).map(|b| t.block_len(b)).sum();
+        assert_eq!(total, t.total_bytes());
+    }
+
+    #[test]
+    fn block_for_respects_boundaries() {
+        let t = table(100, 128);
+        // Key before the first entry has no block.
+        assert_eq!(t.block_for(b"a"), None);
+        // Every present key maps to the block that contains it.
+        for i in 0..100 {
+            let key = format!("user{i:06}");
+            let b = t.block_for(key.as_bytes()).expect("block");
+            assert!(t.get_in_block(b, key.as_bytes()).is_some());
+        }
+    }
+
+    #[test]
+    fn min_max_keys() {
+        let t = table(10, 1024);
+        assert_eq!(t.min_key(), Some(&k("user000000")));
+        assert_eq!(t.max_key(), Some(&k("user000009")));
+    }
+
+    #[test]
+    fn entries_from_starts_at_lower_bound() {
+        let t = table(10, 1024);
+        let from: Vec<_> = t
+            .entries_from(b"user000007")
+            .map(|(key, _)| key.clone())
+            .collect();
+        assert_eq!(from, vec![k("user000007"), k("user000008"), k("user000009")]);
+        // A start between keys lands on the next one.
+        let from: Vec<_> = t
+            .entries_from(b"user0000071")
+            .map(|(key, _)| key.clone())
+            .collect();
+        assert_eq!(from[0], k("user000008"));
+    }
+
+    #[test]
+    fn block_of_entry_roundtrips() {
+        let t = table(300, 200);
+        for idx in [0usize, 1, 150, 299] {
+            let b = t.block_of_entry(idx);
+            let (start, end) = (t.block_starts[b] as usize, {
+                t.block_starts
+                    .get(b + 1)
+                    .map_or(t.entries.len(), |&s| s as usize)
+            });
+            assert!((start..end).contains(&idx));
+        }
+    }
+
+    #[test]
+    fn empty_table_is_harmless() {
+        let t = SsTable::build(TableId(0), Vec::new(), 1024);
+        assert!(t.is_empty());
+        assert_eq!(t.block_count(), 0);
+        assert_eq!(t.get(b"x"), None);
+        assert_eq!(t.block_for(b"x"), None);
+        assert_eq!(t.min_key(), None);
+    }
+
+    #[test]
+    fn bloom_filters_skip_most_absent_lookups() {
+        let t = table(1000, 512);
+        let fps = (0..1000)
+            .filter(|i| t.may_contain(format!("ghost{i}").as_bytes()))
+            .count();
+        assert!(fps < 50, "bloom ineffective: {fps} false positives");
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the storage engine's core invariants.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use storage::compaction::SizeTieredPolicy;
+use storage::merge::merge_entries;
+use storage::{Cell, Key, LsmConfig, LsmTree, Memtable, SsTable, TableId};
+
+fn key(id: u64) -> Bytes {
+    Bytes::from(format!("user{id:08}").into_bytes())
+}
+
+fn arb_entries(max_keys: u64) -> impl Strategy<Value = Vec<(u64, Vec<u8>, u64)>> {
+    // (key id, value, timestamp)
+    prop::collection::vec(
+        (0..max_keys, prop::collection::vec(any::<u8>(), 0..24), 0u64..1_000),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The memtable agrees with a BTreeMap oracle under LWW reconciliation.
+    #[test]
+    fn memtable_matches_lww_oracle(entries in arb_entries(50)) {
+        let mut mem = Memtable::new();
+        let mut oracle: std::collections::BTreeMap<Key, Cell> = Default::default();
+        for (id, value, ts) in entries {
+            let cell = Cell::live(Bytes::from(value), ts);
+            mem.insert(key(id), cell.clone());
+            oracle
+                .entry(key(id))
+                .and_modify(|c| *c = Cell::reconcile(c.clone(), cell.clone()))
+                .or_insert(cell);
+        }
+        prop_assert_eq!(mem.len(), oracle.len());
+        for (k, expected) in &oracle {
+            prop_assert_eq!(mem.get(k), Some(expected));
+        }
+        // Drained entries come out sorted and complete.
+        let drained = mem.drain_sorted();
+        prop_assert!(drained.windows(2).all(|w| w[0].0 < w[1].0));
+        prop_assert_eq!(drained.len(), oracle.len());
+    }
+
+    /// Cell reconciliation is commutative and associative.
+    #[test]
+    fn reconcile_is_commutative_associative(
+        a in (0u64..50, prop::collection::vec(any::<u8>(), 0..8)),
+        b in (0u64..50, prop::collection::vec(any::<u8>(), 0..8)),
+        c in (0u64..50, prop::collection::vec(any::<u8>(), 0..8)),
+    ) {
+        let mk = |(ts, v): (u64, Vec<u8>)| Cell::live(Bytes::from(v), ts);
+        let (a, b, c) = (mk(a), mk(b), mk(c));
+        prop_assert_eq!(
+            Cell::reconcile(a.clone(), b.clone()),
+            Cell::reconcile(b.clone(), a.clone())
+        );
+        prop_assert_eq!(
+            Cell::reconcile(Cell::reconcile(a.clone(), b.clone()), c.clone()),
+            Cell::reconcile(a.clone(), Cell::reconcile(b.clone(), c.clone()))
+        );
+    }
+
+    /// A k-way merge equals a BTreeMap oracle built from the same sources.
+    #[test]
+    fn merge_matches_oracle(
+        sources in prop::collection::vec(arb_entries(40), 0..5)
+    ) {
+        // Make each source sorted/unique (as the merge contract requires).
+        let mut oracle: std::collections::BTreeMap<Key, Cell> = Default::default();
+        let mut merged_sources = Vec::new();
+        for src in sources {
+            let mut per: std::collections::BTreeMap<Key, Cell> = Default::default();
+            for (id, value, ts) in src {
+                let cell = Cell::live(Bytes::from(value), ts);
+                per.entry(key(id))
+                    .and_modify(|c| *c = Cell::reconcile(c.clone(), cell.clone()))
+                    .or_insert(cell);
+            }
+            for (k, c) in &per {
+                oracle
+                    .entry(k.clone())
+                    .and_modify(|o| *o = Cell::reconcile(o.clone(), c.clone()))
+                    .or_insert_with(|| c.clone());
+            }
+            merged_sources.push(per.into_iter().collect::<Vec<_>>());
+        }
+        let merged = merge_entries(merged_sources, false);
+        prop_assert_eq!(merged, oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Every key written into an SSTable is found; absent keys are not.
+    #[test]
+    fn sstable_point_lookups(ids in prop::collection::btree_set(0u64..10_000, 1..300)) {
+        let entries: Vec<(Key, Cell)> = ids
+            .iter()
+            .map(|&i| (key(i), Cell::live(key(i), i)))
+            .collect();
+        let table = SsTable::build(TableId(1), entries, 256);
+        for &i in &ids {
+            let got = table.get(&key(i));
+            prop_assert!(got.is_some(), "lost key {i}");
+            prop_assert_eq!(got.unwrap().ts, i);
+        }
+        // A definitely-absent key (outside the id space).
+        prop_assert!(table.get(b"zzzz").is_none());
+        // Block structure partitions the byte count.
+        let total: u64 = (0..table.block_count()).map(|b| table.block_len(b)).sum();
+        prop_assert_eq!(total, table.total_bytes());
+    }
+
+    /// The LSM tree serves the newest acknowledged value for every key, no
+    /// matter how writes interleave with flushes and compactions.
+    #[test]
+    fn lsm_read_your_writes_through_flushes(
+        ops in prop::collection::vec((0u64..30, 0u64..1000u64, prop::bool::ANY), 1..150)
+    ) {
+        let mut tree = LsmTree::new(LsmConfig {
+            block_size: 128,
+            memtable_flush_bytes: 512,
+            cache_bytes: 1024,
+            compaction: SizeTieredPolicy { min_threshold: 2, ..Default::default() },
+        });
+        let mut oracle: std::collections::HashMap<u64, Cell> = Default::default();
+        for (id, ts, flush) in ops {
+            let cell = Cell::live(key(ts), ts);
+            tree.put(key(id), cell.clone());
+            oracle
+                .entry(id)
+                .and_modify(|c| *c = Cell::reconcile(c.clone(), cell.clone()))
+                .or_insert(cell);
+            if flush {
+                tree.flush();
+                tree.maybe_compact();
+            }
+        }
+        for (id, expected) in &oracle {
+            let got = tree.get(&key(*id)).cell;
+            prop_assert_eq!(got.as_ref(), Some(expected), "key {}", id);
+        }
+    }
+
+    /// WAL replay after a crash restores exactly the unflushed state.
+    #[test]
+    fn wal_replay_restores_memtable(
+        ops in prop::collection::vec((0u64..20, 0u64..100), 1..60),
+        flush_at in 0usize..60,
+    ) {
+        let mut tree = LsmTree::new(LsmConfig {
+            memtable_flush_bytes: u64::MAX, // manual flushes only
+            ..LsmConfig::default()
+        });
+        for (i, (id, ts)) in ops.iter().enumerate() {
+            tree.put(key(*id), Cell::live(key(*ts), *ts));
+            if i == flush_at {
+                tree.flush();
+            }
+        }
+        let before: Vec<_> = (0..20u64).map(|id| tree.get(&key(id)).cell).collect();
+        tree.recover();
+        let after: Vec<_> = (0..20u64).map(|id| tree.get(&key(id)).cell).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Scans return sorted, deduplicated, live rows consistent with gets.
+    #[test]
+    fn scan_agrees_with_gets(
+        ids in prop::collection::btree_set(0u64..200, 1..80),
+        start in 0u64..200,
+        limit in 1usize..40,
+    ) {
+        let mut tree = LsmTree::new(LsmConfig::default());
+        for &i in &ids {
+            tree.put(key(i), Cell::live(key(i), 1));
+        }
+        tree.flush();
+        let rows = tree.scan(&key(start), limit).rows;
+        prop_assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "unsorted");
+        prop_assert!(rows.len() <= limit);
+        let expected: Vec<u64> = ids.iter().copied().filter(|&i| i >= start).take(limit).collect();
+        let got: Vec<Key> = rows.iter().map(|(k, _)| k.clone()).collect();
+        let want: Vec<Key> = expected.iter().map(|&i| key(i)).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,213 @@
+//! Key encoding and value generation.
+//!
+//! YCSB's default `insertorder=hashed`: record id `i` becomes key
+//! `"user" + hash(i)`, so sequential inserts scatter uniformly over the key
+//! space instead of hammering the newest range — without this, a *read
+//! latest* run on an ordered store degenerates to a single-server hotspot.
+//! The hash is rendered as zero-padded decimal, so lexicographic byte order
+//! equals hashed-value order and ordered partitioners/scans work over the
+//! hashed space (exactly YCSB's behaviour on range-scan workloads).
+//!
+//! Values come from a small refcounted pool: the simulated stores account
+//! I/O by *length*, so distinct contents would only waste memory at the
+//! 10^5–10^6-record scale the experiments run at.
+
+use bytes::Bytes;
+use rand::Rng;
+
+/// Width of the zero-padded numeric portion of a key (fits any `u64`).
+pub const KEY_DIGITS: usize = 20;
+
+/// FNV-1a with avalanche, YCSB's key-scrambling role.
+#[inline]
+pub fn fnv_scramble(id: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in id.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^ (h >> 33)
+}
+
+/// Encode a raw 64-bit key-space position as an ordered key.
+pub fn encode_point(raw: u64) -> Bytes {
+    Bytes::from(format!("user{raw:0KEY_DIGITS$}").into_bytes())
+}
+
+/// Encode record id `id` as its (hashed, scattered) key.
+pub fn encode_key(id: u64) -> Bytes {
+    encode_point(fnv_scramble(id))
+}
+
+/// Decode a key back to its raw key-space position (not the record id —
+/// the hash is one-way, as in YCSB).
+pub fn decode_point(key: &[u8]) -> Option<u64> {
+    let digits = key.strip_prefix(b"user")?;
+    std::str::from_utf8(digits).ok()?.parse().ok()
+}
+
+/// Evenly spaced key-space boundary tokens for `n` partitions: token `j`
+/// starts partition `j`'s range. Token 0 is the empty-prefix minimum so the
+/// first partition owns everything below token 1.
+pub fn balanced_tokens(n: usize) -> Vec<Bytes> {
+    assert!(n > 0);
+    let span = u64::MAX / n as u64;
+    (0..n as u64).map(|j| encode_point(j * span)).collect()
+}
+
+/// Tracks the growing record-id space during a run: ids `0..count` exist.
+#[derive(Debug, Clone)]
+pub struct KeySpace {
+    count: u64,
+}
+
+impl KeySpace {
+    /// A key space preloaded with `initial` records.
+    pub fn new(initial: u64) -> Self {
+        Self { count: initial }
+    }
+
+    /// Number of records that exist.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Key of an existing record.
+    pub fn key(&self, id: u64) -> Bytes {
+        debug_assert!(id < self.count);
+        encode_key(id)
+    }
+
+    /// Allocate the next record id (a transactional insert) and return its
+    /// key.
+    pub fn next_insert(&mut self) -> (u64, Bytes) {
+        let id = self.count;
+        self.count += 1;
+        (id, encode_key(id))
+    }
+}
+
+/// A pool of a few shared value buffers of a fixed length. Cloning a
+/// `Bytes` is a refcount bump, so a billion writes cost a few kilobytes.
+#[derive(Debug, Clone)]
+pub struct ValuePool {
+    buffers: Vec<Bytes>,
+    len: usize,
+}
+
+impl ValuePool {
+    /// Build a pool of `variants` distinct buffers of `len` bytes each.
+    pub fn new(len: usize, variants: usize) -> Self {
+        let variants = variants.max(1);
+        let buffers = (0..variants)
+            .map(|v| {
+                let mut buf = vec![0u8; len];
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = b'a' + ((i + v) % 26) as u8;
+                }
+                Bytes::from(buf)
+            })
+            .collect();
+        Self { buffers, len }
+    }
+
+    /// The value length this pool produces.
+    pub fn value_len(&self) -> usize {
+        self.len
+    }
+
+    /// Draw a value (refcounted clone of a pooled buffer).
+    pub fn next<R: Rng + ?Sized>(&self, rng: &mut R) -> Bytes {
+        let i = rng.gen_range(0..self.buffers.len());
+        self.buffers[i].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimRng;
+
+    #[test]
+    fn keys_are_ordered_by_raw_position() {
+        let a = encode_point(5);
+        let b = encode_point(50);
+        let c = encode_point(u64::MAX);
+        assert!(a < b && b < c);
+        assert_eq!(a.len(), 4 + KEY_DIGITS);
+    }
+
+    #[test]
+    fn point_roundtrip() {
+        for raw in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(decode_point(&encode_point(raw)), Some(raw));
+        }
+        assert_eq!(decode_point(b"bogus"), None);
+    }
+
+    #[test]
+    fn sequential_ids_scatter_over_the_key_space() {
+        // The hashed keys of consecutive ids must land in different
+        // partitions — the anti-hotspot property.
+        let tokens = balanced_tokens(10);
+        let partition = |key: &Bytes| {
+            tokens
+                .iter()
+                .rposition(|t| t <= key)
+                .unwrap_or(tokens.len() - 1)
+        };
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..100u64 {
+            seen.insert(partition(&encode_key(id)));
+        }
+        assert!(seen.len() >= 9, "inserts hotspotted: {seen:?}");
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_collision_free_at_scale() {
+        let mut set = std::collections::HashSet::new();
+        for id in 0..500_000u64 {
+            assert!(set.insert(fnv_scramble(id)), "collision at {id}");
+        }
+        assert_eq!(encode_key(7), encode_key(7));
+    }
+
+    #[test]
+    fn balanced_tokens_are_sorted_and_cover() {
+        let t = balanced_tokens(15);
+        assert_eq!(t.len(), 15);
+        assert!(t.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(t[0], encode_point(0));
+    }
+
+    #[test]
+    fn keyspace_grows_on_insert() {
+        let mut ks = KeySpace::new(10);
+        assert_eq!(ks.count(), 10);
+        let (id, key) = ks.next_insert();
+        assert_eq!(id, 10);
+        assert_eq!(key, encode_key(10));
+        assert_eq!(ks.count(), 11);
+    }
+
+    #[test]
+    fn value_pool_produces_fixed_length_shared_buffers() {
+        let pool = ValuePool::new(1000, 4);
+        let mut rng = SimRng::new(3);
+        let v1 = pool.next(&mut rng);
+        assert_eq!(v1.len(), 1000);
+        assert_eq!(pool.value_len(), 1000);
+        let distinct: std::collections::HashSet<_> =
+            (0..100).map(|_| pool.next(&mut rng).to_vec()).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn zero_length_values_supported() {
+        let pool = ValuePool::new(0, 1);
+        let mut rng = SimRng::new(3);
+        assert_eq!(pool.next(&mut rng).len(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ycsb — the workload generator and measurement kit (YCSB analog)
+//!
+//! A faithful reimplementation of the parts of the Yahoo! Cloud Serving
+//! Benchmark the paper relies on:
+//!
+//! * [`generator`] — request-key distributions: uniform, zipfian (Gray et
+//!   al.'s algorithm with YCSB's constants), scrambled zipfian, latest,
+//!   hotspot, and exponential.
+//! * [`keys`] — zero-padded ordered key encoding and a memory-thrifty value
+//!   pool.
+//! * [`workload`] — operation-mix specifications: the paper's five Table 1
+//!   stress workloads, the YCSB core workloads A–F, and the micro-benchmark
+//!   atomic-operation rounds.
+//! * [`stats`] — HDR-style log-bucketed latency histograms and run metrics.
+//! * [`client`] — closed-loop client-thread pacing with optional target
+//!   throughput throttling (YCSB's `-target`), the mechanism behind the
+//!   paper's runtime-vs-target throughput curves.
+//! * [`validate`] — stale-read detection, used to *measure* consistency
+//!   rather than assume it.
+//!
+//! The crate is simulation-agnostic: generators take any `rand::Rng`, and
+//! time is plain `u64` microseconds supplied by the caller.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod generator;
+pub mod keys;
+pub mod stats;
+pub mod validate;
+pub mod workload;
+
+pub use client::Throttle;
+pub use generator::RequestDistribution;
+pub use keys::{balanced_tokens, encode_key, encode_point, KeySpace, ValuePool};
+pub use stats::{Histogram, RunMetrics};
+pub use validate::StalenessTracker;
+pub use workload::{DistributionKind, OpMix, WorkloadSpec};

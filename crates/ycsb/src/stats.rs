@@ -1,0 +1,352 @@
+//! Latency histograms and run metrics.
+//!
+//! The histogram is HDR-style: exact below 128 µs, then log-bucketed with 64
+//! sub-buckets per octave (≤ ~1.6% relative error), constant memory, O(1)
+//! record. Quantiles and means are computed from bucket midpoints.
+
+use std::collections::BTreeMap;
+
+use storage::OpKind;
+
+const LINEAR_LIMIT: u64 = 128;
+const SUB_BUCKETS: u64 = 64;
+const SUB_BITS: u32 = 6;
+/// Linear buckets + 64 sub-buckets for each octave from 2^7 up to 2^63.
+const BUCKETS: usize = (LINEAR_LIMIT + (64 - 7) * SUB_BUCKETS) as usize;
+
+/// A log-bucketed latency histogram over `u64` microsecond values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_LIMIT {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= 7
+        let sub = (v >> (msb - SUB_BITS)) & (SUB_BUCKETS - 1);
+        (LINEAR_LIMIT + (msb as u64 - 7) * SUB_BUCKETS + sub) as usize
+    }
+}
+
+#[inline]
+fn bucket_low(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < LINEAR_LIMIT {
+        idx
+    } else {
+        let rel = idx - LINEAR_LIMIT;
+        let msb = 7 + rel / SUB_BUCKETS;
+        let sub = rel % SUB_BUCKETS;
+        (1 << msb) + (sub << (msb - SUB_BITS as u64))
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of recorded values (not bucketed).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as a bucket-representative value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_low(i);
+            }
+        }
+        self.max
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile shorthand.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile shorthand.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Aggregated metrics for one benchmark run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    per_op: BTreeMap<OpKind, Histogram>,
+    all: Option<Histogram>,
+    started_at: u64,
+    finished_at: u64,
+    errors: u64,
+    stale_reads: u64,
+    reads_checked: u64,
+}
+
+impl RunMetrics {
+    /// Empty metrics.
+    pub fn new() -> Self {
+        Self {
+            all: Some(Histogram::new()),
+            ..Self::default()
+        }
+    }
+
+    /// Record one completed operation.
+    pub fn record(&mut self, kind: OpKind, latency_us: u64) {
+        self.per_op
+            .entry(kind)
+            .or_default()
+            .record(latency_us);
+        self.all
+            .get_or_insert_with(Histogram::new)
+            .record(latency_us);
+    }
+
+    /// Record one failed operation.
+    pub fn record_error(&mut self) {
+        self.errors += 1;
+    }
+
+    /// Record one read-consistency check outcome.
+    pub fn record_staleness_check(&mut self, stale: bool) {
+        self.reads_checked += 1;
+        if stale {
+            self.stale_reads += 1;
+        }
+    }
+
+    /// Set the measured interval boundaries (virtual microseconds).
+    pub fn set_window(&mut self, start: u64, end: u64) {
+        self.started_at = start;
+        self.finished_at = end.max(start);
+    }
+
+    /// Total successful operations.
+    pub fn ops(&self) -> u64 {
+        self.all.as_ref().map_or(0, Histogram::count)
+    }
+
+    /// Failed operations.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Stale reads observed / reads checked.
+    pub fn staleness(&self) -> (u64, u64) {
+        (self.stale_reads, self.reads_checked)
+    }
+
+    /// Runtime throughput over the measured window, ops/second.
+    pub fn throughput(&self) -> f64 {
+        let window = self.finished_at.saturating_sub(self.started_at);
+        if window == 0 {
+            0.0
+        } else {
+            self.ops() as f64 * 1_000_000.0 / window as f64
+        }
+    }
+
+    /// The all-operations histogram.
+    pub fn overall(&self) -> &Histogram {
+        self.all.as_ref().expect("initialized in new()")
+    }
+
+    /// The histogram for one op kind, if any were recorded.
+    pub fn for_op(&self, kind: OpKind) -> Option<&Histogram> {
+        self.per_op.get(&kind)
+    }
+
+    /// Iterate recorded op kinds with their histograms.
+    pub fn per_op(&self) -> impl Iterator<Item = (OpKind, &Histogram)> {
+        self.per_op.iter().map(|(k, h)| (*k, h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 99, 127] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 127);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 127);
+    }
+
+    #[test]
+    fn bucket_error_is_bounded() {
+        for v in [130u64, 1_000, 8_192, 1_000_000, 123_456_789] {
+            let lo = bucket_low(bucket_index(v));
+            assert!(lo <= v, "low bound above value for {v}");
+            let rel = (v - lo) as f64 / v as f64;
+            assert!(rel < 0.017, "relative error {rel} too large for {v}");
+        }
+    }
+
+    #[test]
+    fn bucket_low_is_monotone() {
+        let mut prev = 0;
+        for idx in 0..BUCKETS {
+            let lo = bucket_low(idx);
+            assert!(lo >= prev, "bucket lows must not decrease at {idx}");
+            prev = lo;
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let mut h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(i);
+        }
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max());
+        // Median of 0..10000 is ~5000, within bucket tolerance.
+        let p50 = h.p50() as f64;
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.05, "p50={p50}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(60);
+        assert!((h.mean() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn run_metrics_throughput() {
+        let mut m = RunMetrics::new();
+        for _ in 0..1000 {
+            m.record(OpKind::Read, 500);
+        }
+        m.set_window(0, 1_000_000); // one second
+        assert!((m.throughput() - 1000.0).abs() < 1e-9);
+        assert_eq!(m.ops(), 1000);
+        assert_eq!(m.for_op(OpKind::Read).unwrap().count(), 1000);
+        assert!(m.for_op(OpKind::Scan).is_none());
+    }
+
+    #[test]
+    fn run_metrics_track_errors_and_staleness() {
+        let mut m = RunMetrics::new();
+        m.record_error();
+        m.record_staleness_check(true);
+        m.record_staleness_check(false);
+        assert_eq!(m.errors(), 1);
+        assert_eq!(m.staleness(), (1, 2));
+    }
+
+    #[test]
+    fn zero_window_throughput_is_zero() {
+        let mut m = RunMetrics::new();
+        m.record(OpKind::Read, 1);
+        m.set_window(5, 5);
+        assert_eq!(m.throughput(), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Stale-read detection: measuring consistency instead of assuming it.
+//!
+//! The tracker implements a time-based staleness check in the spirit of
+//! Bermbach et al. (the paper's related work [14]): a read is *stale* when
+//! it returns a version older than the newest write that was already
+//! acknowledged **before the read was issued**. Concurrent writes (in
+//! flight at read-issue time) do not count against the store.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+/// Per-key acknowledged-write watermarks plus staleness counters.
+#[derive(Debug, Clone, Default)]
+pub struct StalenessTracker {
+    acked: HashMap<Bytes, u64>,
+    stale: u64,
+    checked: u64,
+}
+
+impl StalenessTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that a write of `key` with version timestamp `ts` has been
+    /// acknowledged to the client.
+    pub fn write_acked(&mut self, key: Bytes, ts: u64) {
+        let slot = self.acked.entry(key).or_insert(0);
+        *slot = (*slot).max(ts);
+    }
+
+    /// Snapshot the expectation for a read being issued now: the newest
+    /// acknowledged version of `key` (0 when never written).
+    pub fn expected(&self, key: &[u8]) -> u64 {
+        self.acked.get(key).copied().unwrap_or(0)
+    }
+
+    /// Judge a completed read: `expected` is the snapshot taken at issue
+    /// time, `observed` the version timestamp the read returned (`None` for
+    /// not-found). Returns `true` when the read was stale.
+    pub fn check(&mut self, expected: u64, observed: Option<u64>) -> bool {
+        self.checked += 1;
+        let stale = observed.unwrap_or(0) < expected;
+        if stale {
+            self.stale += 1;
+        }
+        stale
+    }
+
+    /// `(stale, checked)` counts so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.stale, self.checked)
+    }
+
+    /// Stale fraction (0 when nothing checked).
+    pub fn stale_fraction(&self) -> f64 {
+        if self.checked == 0 {
+            0.0
+        } else {
+            self.stale as f64 / self.checked as f64
+        }
+    }
+
+    /// Number of keys with acknowledged writes.
+    pub fn tracked_keys(&self) -> usize {
+        self.acked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn fresh_read_is_not_stale() {
+        let mut t = StalenessTracker::new();
+        t.write_acked(k("a"), 100);
+        let exp = t.expected(b"a");
+        assert!(!t.check(exp, Some(100)));
+        assert!(!t.check(exp, Some(150)), "newer than expected is fine");
+        assert_eq!(t.counts(), (0, 2));
+    }
+
+    #[test]
+    fn old_version_is_stale() {
+        let mut t = StalenessTracker::new();
+        t.write_acked(k("a"), 100);
+        assert!(t.check(t.expected(b"a"), Some(50)));
+        assert!(t.check(t.expected(b"a"), None), "not-found after an ack is stale");
+        assert_eq!(t.counts(), (2, 2));
+        assert!((t.stale_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unwritten_keys_never_stale() {
+        let mut t = StalenessTracker::new();
+        assert_eq!(t.expected(b"ghost"), 0);
+        assert!(!t.check(0, None));
+    }
+
+    #[test]
+    fn concurrent_write_does_not_count() {
+        let mut t = StalenessTracker::new();
+        t.write_acked(k("a"), 100);
+        let snapshot = t.expected(b"a"); // read issued here
+        t.write_acked(k("a"), 200); // concurrent write acks later
+        assert!(!t.check(snapshot, Some(100)), "expected only ts>=100");
+    }
+
+    #[test]
+    fn watermark_is_monotone() {
+        let mut t = StalenessTracker::new();
+        t.write_acked(k("a"), 100);
+        t.write_acked(k("a"), 50); // late ack of an older write
+        assert_eq!(t.expected(b"a"), 100);
+        assert_eq!(t.tracked_keys(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! The paper's "feeds reading" scenario (*read latest*, read/insert 80/20,
+//! latest distribution): compare the two architectures and show how the
+//! replication factor affects each.
+//!
+//! ```sh
+//! cargo run --release --example feed_reader
+//! ```
+
+use cloudserve::bench_core::driver::{self, DriverConfig};
+use cloudserve::bench_core::setup::{build_cstore, build_hstore, Scale};
+use cloudserve::bench_core::SimStore;
+use cloudserve::cstore::Consistency;
+use cloudserve::ycsb::WorkloadSpec;
+
+fn run_one<S: SimStore>(store: &mut S, scale: &Scale) -> (f64, f64) {
+    driver::load(store, scale.records, scale.value_len, 23);
+    let cfg = DriverConfig {
+        threads: 16,
+        warmup_ops: 500,
+        measure_ops: 5_000,
+        value_len: scale.value_len,
+        ..DriverConfig::new(WorkloadSpec::read_latest(), scale.records)
+    };
+    let out = driver::run(store, &cfg);
+    (out.throughput, out.mean_latency_us)
+}
+
+fn main() {
+    let scale = Scale::tiny();
+    println!("feeds reading (read latest 80/20, latest distribution)\n");
+    println!(
+        "{:<28} {:>4} {:>10} {:>12}",
+        "store", "rf", "ops/s", "mean latency"
+    );
+    for rf in [1u32, 3, 6] {
+        let mut h = build_hstore(&scale, rf);
+        let (tput, mean) = run_one(&mut h, &scale);
+        println!(
+            "{:<28} {:>4} {:>10.0} {:>10.0}us",
+            "hstore (HBase analog)", rf, tput, mean
+        );
+    }
+    for rf in [1u32, 3, 6] {
+        let mut c = build_cstore(&scale, rf, Consistency::One, Consistency::One);
+        let (tput, mean) = run_one(&mut c, &scale);
+        println!(
+            "{:<28} {:>4} {:>10.0} {:>10.0}us",
+            "cstore (Cassandra analog)", rf, tput, mean
+        );
+    }
+    println!(
+        "\nThe HBase analog's numbers barely move with RF (reads are local to\n\
+         the region's primary; WAL replication acknowledges in memory). The\n\
+         Cassandra analog pays for extra replicas through read repair traffic\n\
+         and larger per-node datasets — the paper's central observation."
+    );
+}

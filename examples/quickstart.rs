@@ -1,0 +1,84 @@
+//! Quickstart: stand up both simulated stores, write and read a record
+//! through the full replicated path, and run a small benchmark.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudserve::bench_core::driver::{self, DriverConfig};
+use cloudserve::bench_core::setup::{build_cstore, build_hstore, Scale};
+use cloudserve::bench_core::{DriverEvent, SimStore};
+use cloudserve::cstore::Consistency;
+use cloudserve::simkit::Sim;
+use cloudserve::storage::{OpResult, StoreOp};
+use cloudserve::ycsb::{encode_key, WorkloadSpec};
+use bytes::Bytes;
+
+/// Drive one operation through a store and return its result with the
+/// virtual time it took.
+fn one_op<S: SimStore>(store: &mut S, op: StoreOp) -> (OpResult, u64) {
+    let mut sim: Sim<DriverEvent<S::Event>> = Sim::new(7);
+    store.submit(&mut sim, 1, op);
+    let started = sim.now();
+    while let Some(ev) = sim.next() {
+        if let DriverEvent::Store(ev) = ev {
+            store.handle(&mut sim, ev);
+        }
+        if let Some(c) = store.drain_completions().pop() {
+            return (c.result, sim.now() - started);
+        }
+    }
+    unreachable!("operation never completed");
+}
+
+fn main() {
+    let scale = Scale::tiny();
+
+    // --- Cassandra analog: quorum write, quorum read. ---
+    let mut cassandra = build_cstore(&scale, 3, Consistency::Quorum, Consistency::Quorum);
+    let key = encode_key(42);
+    let (w, wt) = one_op(
+        &mut cassandra,
+        StoreOp::Insert {
+            key: key.clone(),
+            value: Bytes::from_static(b"hello, ring"),
+        },
+    );
+    println!("cstore quorum write: {w:?} in {wt}us (virtual)");
+    let (r, rt) = one_op(&mut cassandra, StoreOp::Read { key: key.clone() });
+    println!("cstore quorum read:  {r:?} in {rt}us (virtual)");
+
+    // --- HBase analog: strongly consistent, no consistency knob. ---
+    let mut hbase = build_hstore(&scale, 3);
+    let (w, wt) = one_op(
+        &mut hbase,
+        StoreOp::Insert {
+            key: key.clone(),
+            value: Bytes::from_static(b"hello, region"),
+        },
+    );
+    println!("hstore write (WAL pipeline): {w:?} in {wt}us (virtual)");
+    let (r, rt) = one_op(&mut hbase, StoreOp::Read { key });
+    println!("hstore read (local, strong): {r:?} in {rt}us (virtual)");
+
+    // --- A small YCSB run against each. ---
+    for rf in [1u32, 3] {
+        let mut store = build_cstore(&scale, rf, Consistency::One, Consistency::One);
+        driver::load(&mut store, scale.records, scale.value_len, 1);
+        let cfg = DriverConfig {
+            threads: 8,
+            warmup_ops: 200,
+            measure_ops: 2_000,
+            value_len: scale.value_len,
+            ..DriverConfig::new(WorkloadSpec::read_mostly(), scale.records)
+        };
+        let out = driver::run(&mut store, &cfg);
+        println!(
+            "cstore rf={rf} read-mostly: {:.0} ops/s, mean {:.0}us, p99 {}us, stale {:.3}%",
+            out.throughput,
+            out.mean_latency_us,
+            out.metrics.overall().p99(),
+            out.stale_fraction * 100.0
+        );
+    }
+}

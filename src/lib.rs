@@ -1,0 +1,30 @@
+//! # cloudserve — umbrella crate
+//!
+//! Reproduction of *Wang, Li, Zhang, Zhou: "Benchmarking Replication and
+//! Consistency Strategies in Cloud Serving Databases: HBase and Cassandra"*
+//! (BPOE 2014 / VLDB workshops, LNCS 8807).
+//!
+//! This crate re-exports the whole workspace under one roof so the examples
+//! and integration tests have a single dependency:
+//!
+//! * [`simkit`] — the discrete-event simulation kernel (the "testbed").
+//! * [`storage`] — shared LSM storage-engine components.
+//! * [`dfs`] — the replicated block filesystem (HDFS analog).
+//! * [`hstore`] — the HBase analog.
+//! * [`cstore`] — the Cassandra analog.
+//! * [`ycsb`] — the YCSB-analog workload generator and client.
+//! * [`bench_core`] — the paper's benchmark methodology (micro/stress/
+//!   consistency experiments, sweeps, report rendering).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+pub use bench_core;
+pub use cstore;
+pub use dfs;
+pub use hstore;
+pub use simkit;
+pub use storage;
+pub use ycsb;
