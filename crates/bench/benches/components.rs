@@ -145,6 +145,30 @@ fn bench_lsm_read_path(c: &mut Criterion) {
     });
 }
 
+fn bench_snapshot_vs_reload(c: &mut Criterion) {
+    // The sweep engine's economics: stamping a copy-on-write snapshot out
+    // of a loaded base state vs rebuilding and bulk-loading from scratch,
+    // as every experiment cell did before base states were shared.
+    use bench_core::driver;
+    use bench_core::setup::{build_cstore, Scale};
+    use cstore::Consistency;
+
+    let scale = Scale::tiny();
+    let mut base = build_cstore(&scale, 3, Consistency::One, Consistency::One);
+    driver::load(&mut base, scale.records, scale.value_len, 42);
+
+    c.bench_function("sweep/snapshot_clone", |b| {
+        b.iter(|| black_box(base.snapshot()));
+    });
+    c.bench_function("sweep/full_build_and_load", |b| {
+        b.iter(|| {
+            let mut fresh = build_cstore(&scale, 3, Consistency::One, Consistency::One);
+            driver::load(&mut fresh, scale.records, scale.value_len, 42);
+            black_box(fresh)
+        });
+    });
+}
+
 criterion_group!(
     benches,
     bench_rng,
@@ -156,5 +180,6 @@ criterion_group!(
     bench_bloom,
     bench_cache,
     bench_lsm_read_path,
+    bench_snapshot_vs_reload,
 );
 criterion_main!(benches);

@@ -100,8 +100,16 @@ fn consistency_probe() {
             let st = c.node(simkit::NodeId(i as u32)).lsm.cache_stats();
             (h + st.hits, m + st.misses)
         });
-        let read = out.metrics.for_op(OpKind::Read).map(|h| h.mean()).unwrap_or(0.0);
-        let upd = out.metrics.for_op(OpKind::Update).map(|h| h.mean()).unwrap_or(0.0);
+        let read = out
+            .metrics
+            .for_op(OpKind::Read)
+            .map(|h| h.mean())
+            .unwrap_or(0.0);
+        let upd = out
+            .metrics
+            .for_op(OpKind::Update)
+            .map(|h| h.mean())
+            .unwrap_or(0.0);
         println!(
             "{name}: tput={:.0} read_mean={read:.0}us update_mean={upd:.0}us hit={:.2} pauses={} mismatches={} repairs={}",
             out.throughput,

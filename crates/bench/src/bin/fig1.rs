@@ -21,6 +21,7 @@ fn main() {
     let started = std::time::Instant::now();
     let result = run_micro(&cfg);
     eprintln!("fig1: done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!("fig1: {}", result.telemetry.summary());
 
     println!("{}", result.render());
     for store in [StoreKind::HStore, StoreKind::CStore] {

@@ -24,6 +24,7 @@ fn main() {
     let started = std::time::Instant::now();
     let result = run_stress(&cfg);
     eprintln!("fig2: done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!("fig2: {}", result.telemetry.summary());
 
     println!("{}", result.render());
     let workload_names: Vec<String> = cfg.workloads.iter().map(|w| w.name.clone()).collect();

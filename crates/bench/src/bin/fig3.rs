@@ -24,11 +24,15 @@ fn main() {
     let started = std::time::Instant::now();
     let result = run_consistency(&cfg);
     eprintln!("fig3: done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!("fig3: {}", result.telemetry.summary());
 
     println!("{}", result.render());
     for w in &cfg.workloads {
         let mut chart = AsciiChart::new(
-            &format!("\"{}\" peak runtime throughput by consistency level", w.name),
+            &format!(
+                "\"{}\" peak runtime throughput by consistency level",
+                w.name
+            ),
             "ops/s",
         );
         for level in &cfg.levels {

@@ -25,7 +25,12 @@ fn mix_description(w: &WorkloadSpec) -> String {
 fn main() {
     let mut t = Table::new(
         "Table 1 — workloads of the stress benchmarks for replication and consistency",
-        &["workload", "typical usage", "operations", "records distribution"],
+        &[
+            "workload",
+            "typical usage",
+            "operations",
+            "records distribution",
+        ],
     );
     for w in WorkloadSpec::paper_stress_workloads() {
         t.row(vec![

@@ -21,7 +21,5 @@ pub fn quick_requested() -> bool {
 
 /// The directory figure CSVs are written into (`RESULTS_DIR` overrides).
 pub fn results_dir() -> std::path::PathBuf {
-    std::path::PathBuf::from(
-        std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".to_owned()),
-    )
+    std::path::PathBuf::from(std::env::var("RESULTS_DIR").unwrap_or_else(|_| "results".to_owned()))
 }

@@ -16,8 +16,9 @@ use ycsb::WorkloadSpec;
 
 use crate::driver::{self, DriverConfig};
 use crate::report::{fmt_ops, fmt_us, Table};
-use crate::setup::{build_cstore_with, build_hstore, Scale};
+use crate::setup::{build_cstore_with, build_hstore, Scale, StoreKind};
 use crate::store::SimStore;
+use crate::sweep::Sweep;
 
 /// Shared knobs for the ablation runs.
 #[derive(Debug, Clone)]
@@ -98,7 +99,10 @@ fn to_row<S: SimStore>(variant: &str, out: &driver::RunOutcome, _store: &S) -> A
 }
 
 fn rows_table(title: &str, rows: &[AblationRow]) -> Table {
-    let mut t = Table::new(title, &["variant", "throughput", "mean latency", "stale%", "errors"]);
+    let mut t = Table::new(
+        title,
+        &["variant", "throughput", "mean latency", "stale%", "errors"],
+    );
     for r in rows {
         t.row(vec![
             r.variant.clone(),
@@ -113,24 +117,20 @@ fn rows_table(title: &str, rows: &[AblationRow]) -> Table {
 
 /// Ablation A — read repair chance 0 / 0.1 / 1.0 at a high RF, CL=ONE,
 /// read-mostly: the mechanism behind the Fig. 1 Cassandra read knee.
+/// Variants are independent, so each is one sweep cell.
 pub fn ablate_read_repair(cfg: &AblationConfig, rf: u32) -> Table {
-    let mut rows = Vec::new();
-    for chance in [0.0, 0.1, 1.0] {
-        let mut store = build_cstore_with(
-            &cfg.scale,
-            rf,
-            Consistency::One,
-            Consistency::One,
-            |c| c.read_repair_chance = chance,
-        );
-        driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
-        let out = driver::run(&mut store, &cfg.driver(WorkloadSpec::read_mostly()));
-        rows.push(to_row(
-            &format!("read_repair_chance={chance}"),
-            &out,
-            &store,
-        ));
-    }
+    let chances = [0.0, 0.1, 1.0];
+    let rows = Sweep::from_env()
+        .run(cfg.seed, &chances, |_, &chance| {
+            let mut store =
+                build_cstore_with(&cfg.scale, rf, Consistency::One, Consistency::One, |c| {
+                    c.read_repair_chance = chance
+                });
+            driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+            let out = driver::run(&mut store, &cfg.driver(WorkloadSpec::read_mostly()));
+            to_row(&format!("read_repair_chance={chance}"), &out, &store)
+        })
+        .results;
     rows_table(
         &format!("Ablation — read repair chance (cstore, RF={rf}, CL=ONE, read mostly)"),
         &rows,
@@ -140,22 +140,21 @@ pub fn ablate_read_repair(cfg: &AblationConfig, rf: u32) -> Table {
 /// Ablation B — commit-log durability: periodic (deployed default) vs
 /// per-write sync on a write-heavy workload.
 pub fn ablate_commitlog(cfg: &AblationConfig) -> Table {
-    let mut rows = Vec::new();
-    for (label, mode) in [
+    let modes = [
         ("periodic (default)", CommitlogSync::Periodic),
         ("per-write sync", CommitlogSync::PerWrite),
-    ] {
-        let mut store = build_cstore_with(
-            &cfg.scale,
-            3,
-            Consistency::One,
-            Consistency::One,
-            |c| c.commitlog_sync = mode,
-        );
-        driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
-        let out = driver::run(&mut store, &cfg.driver(WorkloadSpec::read_update()));
-        rows.push(to_row(label, &out, &store));
-    }
+    ];
+    let rows = Sweep::from_env()
+        .run(cfg.seed, &modes, |_, &(label, mode)| {
+            let mut store =
+                build_cstore_with(&cfg.scale, 3, Consistency::One, Consistency::One, |c| {
+                    c.commitlog_sync = mode
+                });
+            driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+            let out = driver::run(&mut store, &cfg.driver(WorkloadSpec::read_update()));
+            to_row(label, &out, &store)
+        })
+        .results;
     rows_table(
         "Ablation — commit-log durability (cstore, RF=3, read & update)",
         &rows,
@@ -167,53 +166,60 @@ pub fn ablate_commitlog(cfg: &AblationConfig) -> Table {
 /// recovery.
 pub fn failover_phases(cfg: &AblationConfig) -> Table {
     let workload = WorkloadSpec::read_mostly;
-    let mut rows: Vec<AblationRow> = Vec::new();
 
-    // --- cstore: CL=ONE rides through a replica failure. ---
-    {
-        let mut store = build_cstore_with(
-            &cfg.scale,
-            3,
-            Consistency::One,
-            Consistency::One,
-            |_| {},
-        );
-        driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
-        let healthy = driver::run(&mut store, &cfg.driver(workload()));
-        rows.push(to_row("cstore healthy", &healthy, &store));
+    // Each store's before/during/after sequence mutates one cluster, so the
+    // phases stay serial inside a cell; the two stores run as parallel
+    // sweep cells and the ordered collection keeps cstore rows first.
+    let cells = [StoreKind::CStore, StoreKind::HStore];
+    let rows: Vec<AblationRow> = Sweep::from_env()
+        .run(cfg.seed, &cells, |_, &kind| match kind {
+            StoreKind::CStore => {
+                let mut rows = Vec::new();
+                let mut store =
+                    build_cstore_with(&cfg.scale, 3, Consistency::One, Consistency::One, |_| {});
+                driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+                let healthy = driver::run(&mut store, &cfg.driver(workload()));
+                rows.push(to_row("cstore healthy", &healthy, &store));
 
-        store.fail_node(NodeId(0));
-        let degraded = driver::run(&mut store, &cfg.driver(workload()));
-        rows.push(to_row("cstore node down", &degraded, &store));
+                store.fail_node(NodeId(0));
+                let degraded = driver::run(&mut store, &cfg.driver(workload()));
+                rows.push(to_row("cstore node down", &degraded, &store));
 
-        // Recovery needs a sim to replay hints into; run a no-op sim tick.
-        let mut sim: simkit::Sim<crate::store::DriverEvent<cstore::Event>> =
-            simkit::Sim::new(cfg.seed);
-        store.recover_node(&mut sim, NodeId(0));
-        while let Some(ev) = sim.next() {
-            if let crate::store::DriverEvent::Store(e) = ev {
-                cstore::Cluster::handle(&mut store, &mut sim, e);
+                // Recovery needs a sim to replay hints into; run a no-op
+                // sim tick.
+                let mut sim: simkit::Sim<crate::store::DriverEvent<cstore::Event>> =
+                    simkit::Sim::new(cfg.seed);
+                store.recover_node(&mut sim, NodeId(0));
+                while let Some(ev) = sim.next() {
+                    if let crate::store::DriverEvent::Store(e) = ev {
+                        cstore::Cluster::handle(&mut store, &mut sim, e);
+                    }
+                }
+                let recovered = driver::run(&mut store, &cfg.driver(workload()));
+                rows.push(to_row("cstore recovered", &recovered, &store));
+                rows
             }
-        }
-        let recovered = driver::run(&mut store, &cfg.driver(workload()));
-        rows.push(to_row("cstore recovered", &recovered, &store));
-    }
+            StoreKind::HStore => {
+                let mut rows = Vec::new();
+                let mut store = build_hstore(&cfg.scale, 3);
+                driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+                let healthy = driver::run(&mut store, &cfg.driver(workload()));
+                rows.push(to_row("hstore healthy", &healthy, &store));
 
-    // --- hstore: regions fail over; the dead server's ranges go remote. ---
-    {
-        let mut store = build_hstore(&cfg.scale, 3);
-        driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
-        let healthy = driver::run(&mut store, &cfg.driver(workload()));
-        rows.push(to_row("hstore healthy", &healthy, &store));
+                store.fail_server(NodeId(0));
+                let failed_over = driver::run(&mut store, &cfg.driver(workload()));
+                rows.push(to_row("hstore after failover", &failed_over, &store));
 
-        store.fail_server(NodeId(0));
-        let failed_over = driver::run(&mut store, &cfg.driver(workload()));
-        rows.push(to_row("hstore after failover", &failed_over, &store));
-
-        store.recover_server(NodeId(0));
-        let recovered = driver::run(&mut store, &cfg.driver(workload()));
-        rows.push(to_row("hstore recovered", &recovered, &store));
-    }
+                store.recover_server(NodeId(0));
+                let recovered = driver::run(&mut store, &cfg.driver(workload()));
+                rows.push(to_row("hstore recovered", &recovered, &store));
+                rows
+            }
+        })
+        .results
+        .into_iter()
+        .flatten()
+        .collect();
 
     rows_table(
         "Extension — failover phases (read mostly, RF=3, one node killed)",
@@ -275,14 +281,26 @@ pub fn geo_read_latency(cfg: &AblationConfig, inter_region_us: u64) -> Table {
             "Extension — geo-distributed replicas (3 regions, {:.0} ms one-way inter-region)",
             inter_region_us as f64 / 1_000.0
         ),
-        &["consistency", "topology", "throughput", "mean latency", "stale%"],
+        &[
+            "consistency",
+            "topology",
+            "throughput",
+            "mean latency",
+            "stale%",
+        ],
     );
+    let mut specs: Vec<(&'static str, Consistency, Consistency, &'static str, u32)> = Vec::new();
     for (name, read, write) in [
         ("ONE", Consistency::One, Consistency::One),
         ("QUORUM", Consistency::Quorum, Consistency::Quorum),
         ("write ALL", Consistency::One, Consistency::All),
     ] {
         for (label, racks) in [("single rack", 1u32), ("3 regions", 3)] {
+            specs.push((name, read, write, label, racks));
+        }
+    }
+    let rows = Sweep::from_env()
+        .run(cfg.seed, &specs, |_, &(name, read, write, label, racks)| {
             let nodes = cfg.scale.nodes;
             let mut store = build_cstore_with(&cfg.scale, 3, read, write, |c| {
                 c.topology = if racks == 1 {
@@ -293,14 +311,17 @@ pub fn geo_read_latency(cfg: &AblationConfig, inter_region_us: u64) -> Table {
             });
             driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
             let out = driver::run(&mut store, &cfg.driver(WorkloadSpec::read_update()));
-            t.row(vec![
+            vec![
                 name.into(),
                 label.into(),
                 crate::report::fmt_ops(out.throughput),
                 fmt_us(out.mean_latency_us),
                 format!("{:.3}%", out.stale_fraction * 100.0),
-            ]);
-        }
+            ]
+        })
+        .results;
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -344,33 +365,49 @@ mod geo_tests {
 pub fn ablate_partitioner(cfg: &AblationConfig) -> Table {
     let mut t = Table::new(
         "Ablation — partitioner (cstore, RF=3, read & update)",
-        &["partitioner", "throughput", "mean latency", "primary-load skew (max/min)"],
+        &[
+            "partitioner",
+            "throughput",
+            "mean latency",
+            "primary-load skew (max/min)",
+        ],
     );
-    for ordered in [true, false] {
-        let nodes = cfg.scale.nodes;
-        let tokens = cfg.scale.tokens();
-        let mut store = build_cstore_with(&cfg.scale, 3, Consistency::One, Consistency::One, |c| {
-            c.partitioner = if ordered {
-                cstore::Partitioner::order_preserving(tokens)
-            } else {
-                cstore::Partitioner::murmur()
-            };
-        });
-        driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
-        let out = driver::run(&mut store, &cfg.driver(WorkloadSpec::read_update()));
-        // Primary-load balance: how evenly the preloaded keys spread.
-        let mut counts = vec![0u64; nodes];
-        for i in 0..cfg.scale.records.min(20_000) {
-            counts[store.ring().primary(&ycsb::encode_key(i))] += 1;
-        }
-        let min = *counts.iter().min().unwrap() as f64;
-        let max = *counts.iter().max().unwrap() as f64;
-        t.row(vec![
-            if ordered { "order-preserving".into() } else { "murmur (hashing)".into() },
-            fmt_ops(out.throughput),
-            fmt_us(out.mean_latency_us),
-            format!("{:.2}", max / min.max(1.0)),
-        ]);
+    let variants = [true, false];
+    let rows = Sweep::from_env()
+        .run(cfg.seed, &variants, |_, &ordered| {
+            let nodes = cfg.scale.nodes;
+            let tokens = cfg.scale.tokens();
+            let mut store =
+                build_cstore_with(&cfg.scale, 3, Consistency::One, Consistency::One, |c| {
+                    c.partitioner = if ordered {
+                        cstore::Partitioner::order_preserving(tokens)
+                    } else {
+                        cstore::Partitioner::murmur()
+                    };
+                });
+            driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+            let out = driver::run(&mut store, &cfg.driver(WorkloadSpec::read_update()));
+            // Primary-load balance: how evenly the preloaded keys spread.
+            let mut counts = vec![0u64; nodes];
+            for i in 0..cfg.scale.records.min(20_000) {
+                counts[store.ring().primary(&ycsb::encode_key(i))] += 1;
+            }
+            let min = *counts.iter().min().unwrap() as f64;
+            let max = *counts.iter().max().unwrap() as f64;
+            vec![
+                if ordered {
+                    "order-preserving".into()
+                } else {
+                    "murmur (hashing)".into()
+                },
+                fmt_ops(out.throughput),
+                fmt_us(out.mean_latency_us),
+                format!("{:.2}", max / min.max(1.0)),
+            ]
+        })
+        .results;
+    for row in rows {
+        t.row(row);
     }
     t
 }

@@ -7,13 +7,13 @@
 //! QUORUM." (HBase has no consistency knob, so only the Cassandra analog
 //! participates — same as the paper.)
 
-use crossbeam::thread;
 use cstore::Consistency;
 use ycsb::WorkloadSpec;
 
 use crate::driver::{self, DriverConfig};
 use crate::report::{fmt_ops, Table};
 use crate::setup::{build_cstore, Scale};
+use crate::sweep::{BasePool, Sweep, Telemetry};
 
 /// One consistency strategy of the experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +128,8 @@ pub struct ConsistencyCell {
 pub struct ConsistencyResult {
     /// Every (level, workload, target) point.
     pub cells: Vec<ConsistencyCell>,
+    /// What the sweep cost (wall time, utilization, base loads).
+    pub telemetry: Telemetry,
 }
 
 impl ConsistencyResult {
@@ -244,55 +246,70 @@ impl ConsistencyResult {
     }
 }
 
-/// Run the full Fig. 3 experiment (parallel over consistency levels).
+/// Run the full Fig. 3 experiment through the sweep engine.
 pub fn run_consistency(cfg: &ConsistencyConfig) -> ConsistencyResult {
-    let mut cells = Vec::new();
-    thread::scope(|s| {
-        let mut handles = Vec::new();
-        for level in cfg.levels.clone() {
-            handles.push(s.spawn(move |_| {
+    run_consistency_with(cfg, &Sweep::from_env())
+}
+
+/// [`run_consistency`] on a caller-configured engine.
+pub fn run_consistency_with(cfg: &ConsistencyConfig, sweep: &Sweep) -> ConsistencyResult {
+    // One cell per (level, workload, target), in that nested order — the
+    // cell order of the result (no final sort, matching the original
+    // per-level serial loops). Each level's base state loads once.
+    let specs: Vec<(usize, usize, f64)> = cfg
+        .levels
+        .iter()
+        .enumerate()
+        .flat_map(|(l, _)| {
+            (0..cfg.workloads.len())
+                .flat_map(move |w| cfg.targets.iter().map(move |&target| (l, w, target)))
+        })
+        .collect();
+    let pool: BasePool<usize, cstore::Cluster> = BasePool::new(0..cfg.levels.len());
+
+    let outcome = sweep.run(cfg.seed, &specs, |ctx, &(l, w, target)| {
+        let level = cfg.levels[l];
+        let workload = &cfg.workloads[w];
+        let mut snapshot = pool
+            .get_or_load(&l, || {
                 let mut base = build_cstore(&cfg.scale, cfg.rf, level.read, level.write);
                 driver::load(&mut base, cfg.scale.records, cfg.scale.value_len, cfg.seed);
-                let mut out = Vec::new();
-                for workload in &cfg.workloads {
-                    for &target in &cfg.targets {
-                        let mut snapshot = base.clone();
-                        let dcfg = DriverConfig {
-                            workload: workload.clone(),
-                            threads: cfg.threads,
-                            target_ops_per_sec: target,
-                            records: cfg.scale.records,
-                            value_len: cfg.scale.value_len,
-                            warmup_ops: cfg.warmup_ops,
-                            measure_ops: cfg.measure_ops,
-                            seed: cfg.seed,
-                        };
-                        let run = driver::run(&mut snapshot, &dcfg);
-                        let repair_writes = run
-                            .counters
-                            .iter()
-                            .find(|(k, _)| *k == "repair_writes")
-                            .map_or(0, |(_, v)| *v);
-                        out.push(ConsistencyCell {
-                            level: level.name,
-                            workload: workload.name.clone(),
-                            target,
-                            runtime: run.throughput,
-                            mean_us: run.mean_latency_us,
-                            stale_fraction: run.stale_fraction,
-                            repair_writes,
-                        });
-                    }
-                }
-                out
-            }));
+                base
+            })
+            .snapshot();
+        let dcfg = DriverConfig {
+            workload: workload.clone(),
+            threads: cfg.threads,
+            target_ops_per_sec: target,
+            records: cfg.scale.records,
+            value_len: cfg.scale.value_len,
+            warmup_ops: cfg.warmup_ops,
+            measure_ops: cfg.measure_ops,
+            seed: ctx.seed,
+        };
+        let run = driver::run(&mut snapshot, &dcfg);
+        let repair_writes = run
+            .counters
+            .iter()
+            .find(|(k, _)| *k == "repair_writes")
+            .map_or(0, |(_, v)| *v);
+        ConsistencyCell {
+            level: level.name,
+            workload: workload.name.clone(),
+            target,
+            runtime: run.throughput,
+            mean_us: run.mean_latency_us,
+            stale_fraction: run.stale_fraction,
+            repair_writes,
         }
-        for h in handles {
-            cells.extend(h.join().expect("consistency worker panicked"));
-        }
-    })
-    .expect("scope");
-    ConsistencyResult { cells }
+    });
+
+    let mut telemetry = outcome.telemetry;
+    telemetry.record_pool(&pool);
+    ConsistencyResult {
+        cells: outcome.results,
+        telemetry,
+    }
 }
 
 #[cfg(test)]
@@ -312,5 +329,7 @@ mod tests {
         let series = res.series("ONE", "read & update");
         assert_eq!(series.len(), 2);
         assert!(res.peak("ONE", "read & update") > 0.0);
+        // One base state per level, each loaded exactly once.
+        assert_eq!(res.telemetry.base_loads, 3);
     }
 }

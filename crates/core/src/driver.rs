@@ -360,7 +360,10 @@ mod tests {
             &mut store,
             &quick_cfg(WorkloadSpec::read_modify_write(), &scale),
         );
-        let rmw = out.metrics.for_op(OpKind::ReadModifyWrite).expect("rmw ran");
+        let rmw = out
+            .metrics
+            .for_op(OpKind::ReadModifyWrite)
+            .expect("rmw ran");
         let read = out.metrics.for_op(OpKind::Read).expect("read ran");
         // An RMW is a read plus a write: its mean must exceed a plain read's.
         assert!(rmw.mean() > read.mean());

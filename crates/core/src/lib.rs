@@ -22,6 +22,10 @@
 //!   commit-log durability modes, node failure/failover.
 //! * [`sla`] — the paper's §6 future work: SLA-based stress specification
 //!   (bisection search for the highest throughput meeting a latency SLA).
+//! * [`sweep`] — the shared experiment engine every module above runs on:
+//!   deterministic per-cell seed derivation, a self-scheduling parallel
+//!   executor, ordered result collection with wall-time telemetry, and
+//!   load-once base-state pools handing out copy-on-write store snapshots.
 //! * [`report`] — text tables, ASCII charts, and CSV emission.
 
 #![warn(missing_docs)]
@@ -36,8 +40,10 @@ pub mod setup;
 pub mod sla;
 pub mod store;
 pub mod stress;
+pub mod sweep;
 
 pub use driver::{DriverConfig, RunOutcome};
 pub use report::{AsciiChart, Table};
 pub use setup::{build_cstore, build_hstore, Scale, StoreKind};
 pub use store::{DriverEvent, SimStore};
+pub use sweep::{BasePool, Sweep, SweepOutcome, Telemetry};

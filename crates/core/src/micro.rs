@@ -5,14 +5,13 @@
 //! testing. In each round, the replication factor is increased by one, and
 //! the update/read/insert/scan test is run one after another."
 
-use crossbeam::thread;
 use storage::OpKind;
 use ycsb::WorkloadSpec;
 
 use crate::driver::{self, DriverConfig};
 use crate::report::{fmt_us, Table};
 use crate::setup::{build_cstore, build_hstore, Scale, StoreKind};
-use crate::store::SimStore;
+use crate::sweep::{BasePool, Sweep, Telemetry};
 use cstore::Consistency;
 
 /// The micro-test round order used by the paper.
@@ -88,6 +87,8 @@ pub struct MicroCell {
 pub struct MicroResult {
     /// All measured cells.
     pub cells: Vec<MicroCell>,
+    /// What the sweep cost (wall time, utilization, base loads).
+    pub telemetry: Telemetry,
 }
 
 impl MicroResult {
@@ -116,7 +117,10 @@ impl MicroResult {
         let mut out = String::new();
         for store in [StoreKind::HStore, StoreKind::CStore] {
             let mut t = Table::new(
-                &format!("Fig. 1 — micro benchmark for replication: {}", store.label()),
+                &format!(
+                    "Fig. 1 — micro benchmark for replication: {}",
+                    store.label()
+                ),
                 &["rf", "UPDATE mean", "READ mean", "INSERT mean", "SCAN mean"],
             );
             let mut rfs: Vec<u32> = self
@@ -166,7 +170,7 @@ impl MicroResult {
     }
 }
 
-fn micro_driver_cfg(cfg: &MicroConfig, op: OpKind) -> DriverConfig {
+fn micro_driver_cfg(cfg: &MicroConfig, op: OpKind, seed: u64) -> DriverConfig {
     DriverConfig {
         workload: WorkloadSpec::micro(op),
         threads: cfg.threads,
@@ -175,54 +179,74 @@ fn micro_driver_cfg(cfg: &MicroConfig, op: OpKind) -> DriverConfig {
         value_len: cfg.scale.value_len,
         warmup_ops: cfg.warmup_ops,
         measure_ops: cfg.measure_ops,
-        seed: cfg.seed,
+        seed,
     }
 }
 
-fn run_rounds<S: SimStore + Clone>(base: &S, store: StoreKind, rf: u32, cfg: &MicroConfig) -> Vec<MicroCell> {
-    MICRO_OPS
-        .iter()
-        .map(|&op| {
-            let mut snapshot = base.clone();
-            let out = driver::run(&mut snapshot, &micro_driver_cfg(cfg, op));
-            let hist = out.metrics.for_op(op).cloned().unwrap_or_default();
-            MicroCell {
-                store,
-                rf,
-                op,
-                mean_us: hist.mean(),
-                p95_us: hist.p95(),
-                throughput: out.throughput,
-            }
-        })
-        .collect()
+/// Run the full Fig. 1 experiment through the sweep engine.
+pub fn run_micro(cfg: &MicroConfig) -> MicroResult {
+    run_micro_with(cfg, &Sweep::from_env())
 }
 
-/// Run the full Fig. 1 experiment (parallel over store × RF).
-pub fn run_micro(cfg: &MicroConfig) -> MicroResult {
-    let mut cells = Vec::new();
-    thread::scope(|s| {
-        let mut handles = Vec::new();
-        for &rf in &cfg.rfs {
-            handles.push(s.spawn(move |_| {
-                let mut base = build_hstore(&cfg.scale, rf);
-                driver::load(&mut base, cfg.scale.records, cfg.scale.value_len, cfg.seed);
-                run_rounds(&base, StoreKind::HStore, rf, cfg)
-            }));
-            handles.push(s.spawn(move |_| {
-                let mut base =
-                    build_cstore(&cfg.scale, rf, Consistency::One, Consistency::One);
-                driver::load(&mut base, cfg.scale.records, cfg.scale.value_len, cfg.seed);
-                run_rounds(&base, StoreKind::CStore, rf, cfg)
-            }));
+/// [`run_micro`] on a caller-configured engine (the determinism tests run
+/// the same grid serially and in parallel).
+pub fn run_micro_with(cfg: &MicroConfig, sweep: &Sweep) -> MicroResult {
+    // One cell per (store, RF, operation round); each (store, RF) base
+    // state is bulk-loaded once and snapshot-cloned per round.
+    let specs: Vec<(StoreKind, u32, OpKind)> = cfg
+        .rfs
+        .iter()
+        .flat_map(|&rf| {
+            [StoreKind::HStore, StoreKind::CStore]
+                .into_iter()
+                .flat_map(move |store| MICRO_OPS.iter().map(move |&op| (store, rf, op)))
+        })
+        .collect();
+    let hpool: BasePool<u32, hstore::Cluster> = BasePool::new(cfg.rfs.iter().copied());
+    let cpool: BasePool<u32, cstore::Cluster> = BasePool::new(cfg.rfs.iter().copied());
+
+    let outcome = sweep.run(cfg.seed, &specs, |ctx, &(store, rf, op)| {
+        let dcfg = micro_driver_cfg(cfg, op, ctx.seed);
+        let out = match store {
+            StoreKind::HStore => {
+                let mut snapshot = hpool
+                    .get_or_load(&rf, || {
+                        let mut base = build_hstore(&cfg.scale, rf);
+                        driver::load(&mut base, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+                        base
+                    })
+                    .snapshot();
+                driver::run(&mut snapshot, &dcfg)
+            }
+            StoreKind::CStore => {
+                let mut snapshot = cpool
+                    .get_or_load(&rf, || {
+                        let mut base =
+                            build_cstore(&cfg.scale, rf, Consistency::One, Consistency::One);
+                        driver::load(&mut base, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+                        base
+                    })
+                    .snapshot();
+                driver::run(&mut snapshot, &dcfg)
+            }
+        };
+        let hist = out.metrics.for_op(op).cloned().unwrap_or_default();
+        MicroCell {
+            store,
+            rf,
+            op,
+            mean_us: hist.mean(),
+            p95_us: hist.p95(),
+            throughput: out.throughput,
         }
-        for h in handles {
-            cells.extend(h.join().expect("micro worker panicked"));
-        }
-    })
-    .expect("scope");
+    });
+
+    let mut telemetry = outcome.telemetry;
+    telemetry.record_pool(&hpool);
+    telemetry.record_pool(&cpool);
+    let mut cells = outcome.results;
     cells.sort_by_key(|c| (c.store.short(), c.rf, c.op));
-    MicroResult { cells }
+    MicroResult { cells, telemetry }
 }
 
 #[cfg(test)]
@@ -245,5 +269,8 @@ mod tests {
         let series = res.series(StoreKind::CStore, OpKind::Read);
         assert_eq!(series.len(), 2);
         assert_eq!(series[0].0, 1);
+        // Each of the 4 base states (2 stores × 2 RFs) loaded exactly once.
+        assert_eq!(res.telemetry.base_loads, 4);
+        assert_eq!(res.telemetry.base_states, 4);
     }
 }

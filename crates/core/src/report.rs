@@ -197,10 +197,7 @@ mod tests {
         c.point("rf=6", 50.0);
         let s = c.render();
         let lines: Vec<&str> = s.lines().collect();
-        let bars: Vec<usize> = lines[1..]
-            .iter()
-            .map(|l| l.matches('#').count())
-            .collect();
+        let bars: Vec<usize> = lines[1..].iter().map(|l| l.matches('#').count()).collect();
         assert!(bars[1] > bars[0]);
         assert_eq!(bars[1], 50);
     }

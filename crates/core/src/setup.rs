@@ -143,8 +143,7 @@ pub fn build_cstore(
     read_cl: Consistency,
     write_cl: Consistency,
 ) -> cstore::Cluster {
-    let mut cfg =
-        CStoreConfig::paper_testbed(rf, Partitioner::order_preserving(scale.tokens()));
+    let mut cfg = CStoreConfig::paper_testbed(rf, Partitioner::order_preserving(scale.tokens()));
     cfg.nodes = scale.nodes;
     cfg.topology = simkit::Topology::single_rack(scale.nodes, cfg.profile.nic.prop_us);
     cfg.lsm = scale.lsm();
@@ -162,8 +161,7 @@ pub fn build_cstore_with(
     write_cl: Consistency,
     tweak: impl FnOnce(&mut CStoreConfig),
 ) -> cstore::Cluster {
-    let mut cfg =
-        CStoreConfig::paper_testbed(rf, Partitioner::order_preserving(scale.tokens()));
+    let mut cfg = CStoreConfig::paper_testbed(rf, Partitioner::order_preserving(scale.tokens()));
     cfg.nodes = scale.nodes;
     cfg.topology = simkit::Topology::single_rack(scale.nodes, cfg.profile.nic.prop_us);
     cfg.lsm = scale.lsm();

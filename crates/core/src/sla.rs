@@ -15,6 +15,7 @@ use crate::driver::{self, DriverConfig};
 use crate::report::{fmt_ops, fmt_us, Table};
 use crate::setup::Scale;
 use crate::store::SimStore;
+use crate::sweep::Sweep;
 
 /// A service-level agreement: quantile `percentile` of request latencies
 /// must be at or below `latency_us`.
@@ -37,7 +38,8 @@ impl Sla {
 
     /// Does a run outcome satisfy the agreement?
     pub fn met_by(&self, outcome: &driver::RunOutcome) -> bool {
-        outcome.errors == 0 && outcome.metrics.overall().quantile(self.percentile) <= self.latency_us
+        outcome.errors == 0
+            && outcome.metrics.overall().quantile(self.percentile) <= self.latency_us
     }
 }
 
@@ -110,28 +112,49 @@ impl SlaSearchConfig {
 }
 
 /// Find the highest target throughput that meets the SLA, by bisection over
-/// throttled runs against clones of `base` (which must already be loaded).
-pub fn find_sla_capacity<S: SimStore + Clone>(base: &S, cfg: &SlaSearchConfig) -> SlaCapacity {
+/// throttled runs against snapshots of `base` (which must already be
+/// loaded).
+pub fn find_sla_capacity<S: SimStore + Clone + Sync>(
+    base: &S,
+    cfg: &SlaSearchConfig,
+) -> SlaCapacity {
+    find_sla_capacity_with(base, cfg, &Sweep::from_env())
+}
+
+/// [`find_sla_capacity`] on a caller-configured engine. The bisection is
+/// inherently sequential (each midpoint depends on the previous verdict),
+/// so each probe runs as a single engine cell: one snapshot clone, one
+/// deterministic driver run.
+pub fn find_sla_capacity_with<S: SimStore + Clone + Sync>(
+    base: &S,
+    cfg: &SlaSearchConfig,
+    sweep: &Sweep,
+) -> SlaCapacity {
     let mut probes = Vec::new();
     let probe = |target: f64| -> (u64, bool) {
-        let mut snapshot = base.clone();
-        let dcfg = DriverConfig {
-            workload: cfg.workload.clone(),
-            threads: cfg.threads,
-            target_ops_per_sec: target,
-            records: cfg.scale.records,
-            value_len: cfg.scale.value_len,
-            warmup_ops: cfg.warmup_ops,
-            measure_ops: cfg.measure_ops,
-            seed: cfg.seed,
-        };
-        let out = driver::run(&mut snapshot, &dcfg);
-        let q = out.metrics.overall().quantile(cfg.sla.percentile);
-        // The probe must also have *achieved* the target (within 10%): a
-        // throttled run that can't keep up fails the SLA definitionally.
-        let achieved = out.throughput >= target * 0.9;
-        let met = cfg.sla.met_by(&out) && achieved;
-        (q, met)
+        sweep
+            .run(cfg.seed, &[target], |ctx, &target| {
+                let mut snapshot = base.snapshot();
+                let dcfg = DriverConfig {
+                    workload: cfg.workload.clone(),
+                    threads: cfg.threads,
+                    target_ops_per_sec: target,
+                    records: cfg.scale.records,
+                    value_len: cfg.scale.value_len,
+                    warmup_ops: cfg.warmup_ops,
+                    measure_ops: cfg.measure_ops,
+                    seed: ctx.seed,
+                };
+                let out = driver::run(&mut snapshot, &dcfg);
+                let q = out.metrics.overall().quantile(cfg.sla.percentile);
+                // The probe must also have *achieved* the target (within
+                // 10%): a throttled run that can't keep up fails the SLA
+                // definitionally.
+                let achieved = out.throughput >= target * 0.9;
+                let met = cfg.sla.met_by(&out) && achieved;
+                (q, met)
+            })
+            .results[0]
     };
 
     let (q_floor, floor_ok) = probe(cfg.floor);
@@ -178,7 +201,15 @@ pub fn find_sla_capacity<S: SimStore + Clone>(base: &S, cfg: &SlaSearchConfig) -
 
 /// Render a set of named capacity results as a table.
 pub fn capacity_table(title: &str, rows: &[(&str, &SlaCapacity)]) -> Table {
-    let mut t = Table::new(title, &["system", "sla", "certified capacity", "quantile at capacity"]);
+    let mut t = Table::new(
+        title,
+        &[
+            "system",
+            "sla",
+            "certified capacity",
+            "quantile at capacity",
+        ],
+    );
     for (name, cap) in rows {
         t.row(vec![
             (*name).to_owned(),

@@ -6,13 +6,13 @@
 //! [RF 1..6], and the read latest / scan short ranges / read mostly /
 //! read-modify-write / read & update test is run one after another."
 
-use crossbeam::thread;
 use ycsb::WorkloadSpec;
 
 use crate::driver::{self, DriverConfig};
 use crate::report::{fmt_ops, fmt_us, Table};
 use crate::setup::{build_cstore, build_hstore, Scale, StoreKind};
 use crate::store::SimStore;
+use crate::sweep::{BasePool, Sweep, Telemetry};
 use cstore::Consistency;
 
 /// Configuration of the Fig. 2 experiment.
@@ -94,6 +94,8 @@ pub struct StressCell {
 pub struct StressResult {
     /// All peak cells.
     pub cells: Vec<StressCell>,
+    /// What the sweep cost (wall time, utilization, base loads).
+    pub telemetry: Telemetry,
 }
 
 impl StressResult {
@@ -142,7 +144,13 @@ impl StressResult {
         for (store, workload) in keys {
             let mut t = Table::new(
                 &format!("Fig. 2 — stress: {workload} on {}", store.label()),
-                &["rf", "peak throughput", "mean latency", "p95 latency", "stale%"],
+                &[
+                    "rf",
+                    "peak throughput",
+                    "mean latency",
+                    "p95 latency",
+                    "stale%",
+                ],
             );
             let mut rows: Vec<&StressCell> = self
                 .cells
@@ -196,16 +204,19 @@ impl StressResult {
     }
 }
 
+/// Probe every target against snapshots of one loaded base and keep the
+/// peak.
 fn run_cell<S: SimStore + Clone>(
     base: &S,
     store: StoreKind,
     rf: u32,
     workload: &WorkloadSpec,
     cfg: &StressConfig,
+    seed: u64,
 ) -> StressCell {
     let mut best: Option<(f64, crate::driver::RunOutcome)> = None;
     for &target in &cfg.targets {
-        let mut snapshot = base.clone();
+        let mut snapshot = base.snapshot();
         let dcfg = DriverConfig {
             workload: workload.clone(),
             threads: cfg.threads,
@@ -214,7 +225,7 @@ fn run_cell<S: SimStore + Clone>(
             value_len: cfg.scale.value_len,
             warmup_ops: cfg.warmup_ops,
             measure_ops: cfg.measure_ops,
-            seed: cfg.seed,
+            seed,
         };
         let out = driver::run(&mut snapshot, &dcfg);
         if best.as_ref().is_none_or(|(t, _)| out.throughput > *t) {
@@ -234,40 +245,57 @@ fn run_cell<S: SimStore + Clone>(
     }
 }
 
-/// Run the full Fig. 2 experiment (parallel over store × RF; workloads run
-/// against clones of a single loaded snapshot).
+/// Run the full Fig. 2 experiment through the sweep engine.
 pub fn run_stress(cfg: &StressConfig) -> StressResult {
-    let mut cells = Vec::new();
-    thread::scope(|s| {
-        let mut handles = Vec::new();
-        for &rf in &cfg.rfs {
-            handles.push(s.spawn(move |_| {
-                let mut base = build_hstore(&cfg.scale, rf);
-                driver::load(&mut base, cfg.scale.records, cfg.scale.value_len, cfg.seed);
-                cfg.workloads
-                    .iter()
-                    .map(|w| run_cell(&base, StoreKind::HStore, rf, w, cfg))
-                    .collect::<Vec<_>>()
-            }));
-            handles.push(s.spawn(move |_| {
-                let mut base =
-                    build_cstore(&cfg.scale, rf, Consistency::One, Consistency::One);
-                driver::load(&mut base, cfg.scale.records, cfg.scale.value_len, cfg.seed);
-                cfg.workloads
-                    .iter()
-                    .map(|w| run_cell(&base, StoreKind::CStore, rf, w, cfg))
-                    .collect::<Vec<_>>()
-            }));
+    run_stress_with(cfg, &Sweep::from_env())
+}
+
+/// [`run_stress`] on a caller-configured engine.
+pub fn run_stress_with(cfg: &StressConfig, sweep: &Sweep) -> StressResult {
+    // One cell per (store, RF, workload); the target probes within a cell
+    // stay sequential (they share the cell's peak detection).
+    let specs: Vec<(StoreKind, u32, usize)> = cfg
+        .rfs
+        .iter()
+        .flat_map(|&rf| {
+            [StoreKind::HStore, StoreKind::CStore]
+                .into_iter()
+                .flat_map(move |store| (0..cfg.workloads.len()).map(move |w| (store, rf, w)))
+        })
+        .collect();
+    let hpool: BasePool<u32, hstore::Cluster> = BasePool::new(cfg.rfs.iter().copied());
+    let cpool: BasePool<u32, cstore::Cluster> = BasePool::new(cfg.rfs.iter().copied());
+
+    let outcome = sweep.run(cfg.seed, &specs, |ctx, &(store, rf, w)| {
+        let workload = &cfg.workloads[w];
+        match store {
+            StoreKind::HStore => {
+                let base = hpool.get_or_load(&rf, || {
+                    let mut base = build_hstore(&cfg.scale, rf);
+                    driver::load(&mut base, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+                    base
+                });
+                run_cell(base, store, rf, workload, cfg, ctx.seed)
+            }
+            StoreKind::CStore => {
+                let base = cpool.get_or_load(&rf, || {
+                    let mut base = build_cstore(&cfg.scale, rf, Consistency::One, Consistency::One);
+                    driver::load(&mut base, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+                    base
+                });
+                run_cell(base, store, rf, workload, cfg, ctx.seed)
+            }
         }
-        for h in handles {
-            cells.extend(h.join().expect("stress worker panicked"));
-        }
-    })
-    .expect("scope");
+    });
+
+    let mut telemetry = outcome.telemetry;
+    telemetry.record_pool(&hpool);
+    telemetry.record_pool(&cpool);
+    let mut cells = outcome.results;
     cells.sort_by(|a, b| {
         (a.store.short(), a.rf, &a.workload).cmp(&(b.store.short(), b.rf, &b.workload))
     });
-    StressResult { cells }
+    StressResult { cells, telemetry }
 }
 
 #[cfg(test)]
@@ -287,5 +315,7 @@ mod tests {
         assert!(res.render().contains("Fig. 2"));
         let series = res.throughput_series(StoreKind::HStore, "read mostly");
         assert_eq!(series.len(), 2);
+        // 2 stores × 2 RFs base states, each loaded once.
+        assert_eq!(res.telemetry.base_loads, 4);
     }
 }

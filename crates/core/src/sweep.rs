@@ -1,0 +1,490 @@
+//! The shared parallel experiment engine.
+//!
+//! Every figure in the paper is a *grid* of independent cells — (store,
+//! replication factor, operation/workload/consistency-level, target) — and
+//! every cell is one deterministic simulated run. Before this module
+//! existed, each experiment hand-rolled its own scoped-thread fan-out and
+//! re-loaded the store from zero per cell; the engine centralises that:
+//!
+//! * **cell spec → seed**: [`SeedPolicy`] derives the seed each cell runs
+//!   under, either the experiment's fixed seed (the paper's setup: every
+//!   cell uses the same seed so cells differ only in their knob) or a
+//!   per-cell splitmix64 stream for variance studies;
+//! * **self-scheduling executor**: worker threads pull the next unclaimed
+//!   cell index from a shared atomic counter, so long cells (high RF,
+//!   scan-heavy) never leave workers idle behind a static partition;
+//! * **ordered collection**: results are returned in cell order no matter
+//!   which worker ran them, so parallel output is bit-identical to serial;
+//! * **telemetry**: per-cell wall time and worker id, per-worker busy time,
+//!   pool utilization, and base-state load accounting.
+//!
+//! Cells obtain their store from a [`BasePool`]: each distinct base state
+//! (store kind × RF × consistency level) is built and bulk-loaded exactly
+//! once, then stamped out per cell as an O(metadata) copy-on-write
+//! [`snapshot`](crate::store::SimStore::snapshot) — the load phase that used
+//! to dominate grid wall time is paid once per base, not once per cell.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// How each cell's seed is derived from the experiment's root seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedPolicy {
+    /// Every cell runs under the root seed itself — the paper's setup:
+    /// cells differ only in the knob being swept, never in their random
+    /// stream.
+    Fixed,
+    /// Cell `i` runs under `derive_seed(root, i)` — independent streams for
+    /// variance and robustness studies.
+    PerCell,
+}
+
+/// Derive the seed for cell `index` from a root seed (splitmix64 over the
+/// root xored with the index): deterministic, order-free, and
+/// well-distributed even for adjacent indices.
+pub fn derive_seed(root: u64, index: usize) -> u64 {
+    let mut z = root ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Context handed to a cell closure: which cell it is, the seed the
+/// [`SeedPolicy`] derived for it, and which worker is running it.
+#[derive(Debug, Clone, Copy)]
+pub struct CellCtx {
+    /// The cell's index in the spec slice (and in the result vector).
+    pub index: usize,
+    /// The derived seed the cell should run under.
+    pub seed: u64,
+    /// The worker thread executing the cell (0 in serial mode).
+    pub worker: usize,
+}
+
+/// Wall-time accounting for one executed cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellStat {
+    /// The cell's index.
+    pub index: usize,
+    /// The worker that ran it.
+    pub worker: usize,
+    /// Wall-clock microseconds the cell took.
+    pub wall_us: u64,
+}
+
+/// What one sweep cost: per-cell and per-worker wall time plus base-state
+/// load accounting (filled in by the experiment via
+/// [`Telemetry::record_pool`]).
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Per-cell stats, in cell order.
+    pub cells: Vec<CellStat>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock microseconds for the whole sweep.
+    pub wall_us: u64,
+    /// Busy microseconds per worker.
+    pub busy_us: Vec<u64>,
+    /// Base states built and bulk-loaded.
+    pub base_loads: u64,
+    /// Distinct base states declared across the experiment's pools.
+    pub base_states: u64,
+}
+
+impl Telemetry {
+    /// Fraction of worker wall time spent running cells (1.0 = perfectly
+    /// packed).
+    pub fn utilization(&self) -> f64 {
+        let busy: u64 = self.busy_us.iter().sum();
+        let denom = self.wall_us.saturating_mul(self.workers as u64);
+        if denom == 0 {
+            0.0
+        } else {
+            busy as f64 / denom as f64
+        }
+    }
+
+    /// Fold a pool's load accounting into the telemetry.
+    pub fn record_pool<K, S>(&mut self, pool: &BasePool<K, S>) {
+        self.base_loads += pool.loads();
+        self.base_states += pool.len() as u64;
+    }
+
+    /// One-line human summary for the figure binaries' stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "sweep: {} cells on {} workers in {:.2}s, utilization {:.0}%, {} base loads for {} base states",
+            self.cells.len(),
+            self.workers,
+            self.wall_us as f64 / 1e6,
+            self.utilization() * 100.0,
+            self.base_loads,
+            self.base_states,
+        )
+    }
+}
+
+/// A sweep's results (in cell order) and its cost accounting.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome<R> {
+    /// One result per cell, in the order the cells were specified.
+    pub results: Vec<R>,
+    /// Wall-time and load accounting.
+    pub telemetry: Telemetry,
+}
+
+/// A pool of lazily-built base states, keyed by whatever distinguishes them
+/// (RF, consistency level, …). Each key's state is built **exactly once**,
+/// even under concurrent access from many sweep workers; cells take
+/// O(metadata) copy-on-write clones via [`BasePool::snapshot`].
+pub struct BasePool<K, S> {
+    entries: Vec<(K, OnceLock<S>)>,
+    loads: AtomicU64,
+}
+
+impl<K: PartialEq + std::fmt::Debug, S> BasePool<K, S> {
+    /// Declare the keys the pool will serve. Keys must be distinct.
+    pub fn new(keys: impl IntoIterator<Item = K>) -> Self {
+        let entries: Vec<(K, OnceLock<S>)> =
+            keys.into_iter().map(|k| (k, OnceLock::new())).collect();
+        for (i, (k, _)) in entries.iter().enumerate() {
+            assert!(
+                !entries[..i].iter().any(|(other, _)| other == k),
+                "duplicate base-state key {k:?}"
+            );
+        }
+        Self {
+            entries,
+            loads: AtomicU64::new(0),
+        }
+    }
+
+    /// The base state for `key`, building it with `load` on first access.
+    ///
+    /// # Panics
+    /// If `key` was not declared in [`BasePool::new`].
+    pub fn get_or_load(&self, key: &K, load: impl FnOnce() -> S) -> &S {
+        let (_, slot) = self
+            .entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("base-state key {key:?} not declared"));
+        slot.get_or_init(|| {
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            load()
+        })
+    }
+
+    /// A copy-on-write clone of the base state for `key` (loading it first
+    /// if no cell has touched it yet).
+    pub fn snapshot(&self, key: &K, load: impl FnOnce() -> S) -> S
+    where
+        S: Clone,
+    {
+        self.get_or_load(key, load).clone()
+    }
+}
+
+impl<K, S> BasePool<K, S> {
+    /// How many base states have actually been built and loaded.
+    pub fn loads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
+    }
+
+    /// How many distinct base states the pool declares.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no keys are declared.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The engine: thread count, execution mode, and seed policy.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    threads: usize,
+    serial: bool,
+    seed_policy: SeedPolicy,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sweep {
+    /// A parallel sweep sized to the machine, fixed-seed policy.
+    pub fn new() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(4, usize::from),
+            serial: false,
+            seed_policy: SeedPolicy::Fixed,
+        }
+    }
+
+    /// Like [`Sweep::new`], honouring the `SWEEP_THREADS` (worker count)
+    /// and `SWEEP_SERIAL` (any value: force serial) environment variables —
+    /// the figure binaries' escape hatch.
+    pub fn from_env() -> Self {
+        let mut s = Self::new();
+        if let Some(n) = std::env::var("SWEEP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            s = s.with_threads(n);
+        }
+        if std::env::var_os("SWEEP_SERIAL").is_some() {
+            s = s.serial();
+        }
+        s
+    }
+
+    /// Set the worker count (at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Run cells one at a time, in order, on the calling thread — the
+    /// reference execution that parallel runs must match bit-for-bit.
+    pub fn serial(mut self) -> Self {
+        self.serial = true;
+        self
+    }
+
+    /// Set the seed policy.
+    pub fn with_seed_policy(mut self, policy: SeedPolicy) -> Self {
+        self.seed_policy = policy;
+        self
+    }
+
+    fn cell_seed(&self, root: u64, index: usize) -> u64 {
+        match self.seed_policy {
+            SeedPolicy::Fixed => root,
+            SeedPolicy::PerCell => derive_seed(root, index),
+        }
+    }
+
+    /// Run one cell closure over every spec in `cells`, returning results
+    /// in spec order plus telemetry. The closure sees the cell's
+    /// [`CellCtx`] (index, derived seed, worker) and its spec.
+    pub fn run<T, R, F>(&self, root_seed: u64, cells: &[T], f: F) -> SweepOutcome<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(CellCtx, &T) -> R + Sync,
+    {
+        let n = cells.len();
+        let workers = if self.serial {
+            1
+        } else {
+            self.threads.min(n.max(1))
+        };
+        let started = Instant::now();
+
+        let (results, stats, busy_us) = if workers <= 1 {
+            let mut results = Vec::with_capacity(n);
+            let mut stats = Vec::with_capacity(n);
+            let mut busy = 0u64;
+            for (i, cell) in cells.iter().enumerate() {
+                let ctx = CellCtx {
+                    index: i,
+                    seed: self.cell_seed(root_seed, i),
+                    worker: 0,
+                };
+                let t0 = Instant::now();
+                results.push(f(ctx, cell));
+                let wall_us = t0.elapsed().as_micros() as u64;
+                busy += wall_us;
+                stats.push(CellStat {
+                    index: i,
+                    worker: 0,
+                    wall_us,
+                });
+            }
+            (results, stats, vec![busy])
+        } else {
+            // One entry per worker: its total busy time plus every
+            // `(cell index, result, cell wall time)` it produced.
+            type WorkerOut<R> = Vec<(u64, Vec<(usize, R, u64)>)>;
+            let next = AtomicUsize::new(0);
+            let f = &f;
+            let per_worker: WorkerOut<R> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|worker| {
+                        let next = &next;
+                        s.spawn(move || {
+                            let mut out: Vec<(usize, R, u64)> = Vec::new();
+                            let mut busy = 0u64;
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                let ctx = CellCtx {
+                                    index: i,
+                                    seed: self.cell_seed(root_seed, i),
+                                    worker,
+                                };
+                                let t0 = Instant::now();
+                                let r = f(ctx, &cells[i]);
+                                let wall_us = t0.elapsed().as_micros() as u64;
+                                busy += wall_us;
+                                out.push((i, r, wall_us));
+                            }
+                            (busy, out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            });
+
+            // Ordered collection: place every result at its cell index.
+            let mut slots: Vec<Option<(R, CellStat)>> = (0..n).map(|_| None).collect();
+            let mut busy_us = Vec::with_capacity(workers);
+            for (worker, (busy, items)) in per_worker.into_iter().enumerate() {
+                busy_us.push(busy);
+                for (index, r, wall_us) in items {
+                    slots[index] = Some((
+                        r,
+                        CellStat {
+                            index,
+                            worker,
+                            wall_us,
+                        },
+                    ));
+                }
+            }
+            let mut results = Vec::with_capacity(n);
+            let mut stats = Vec::with_capacity(n);
+            for slot in slots {
+                let (r, stat) = slot.expect("every cell ran exactly once");
+                results.push(r);
+                stats.push(stat);
+            }
+            (results, stats, busy_us)
+        };
+
+        SweepOutcome {
+            results,
+            telemetry: Telemetry {
+                cells: stats,
+                workers,
+                wall_us: started.elapsed().as_micros() as u64,
+                busy_us,
+                base_loads: 0,
+                base_states: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_cell_order() {
+        let cells: Vec<u64> = (0..57).collect();
+        let out = Sweep::new().with_threads(7).run(1, &cells, |ctx, &c| {
+            // Uneven work so workers finish out of order.
+            let spin = (c % 5) * 40;
+            let mut acc = ctx.seed;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(c);
+            }
+            (ctx.index as u64, c * 2, acc)
+        });
+        assert_eq!(out.results.len(), 57);
+        for (i, (idx, doubled, _)) in out.results.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*doubled, cells[i] * 2);
+        }
+        assert_eq!(out.telemetry.cells.len(), 57);
+        assert!(out.telemetry.workers <= 7);
+    }
+
+    #[test]
+    fn fixed_policy_hands_every_cell_the_root_seed() {
+        let cells = [0u8; 5];
+        let out = Sweep::new().serial().run(99, &cells, |ctx, _| ctx.seed);
+        assert!(out.results.iter().all(|&s| s == 99));
+    }
+
+    #[test]
+    fn per_cell_policy_derives_distinct_streams() {
+        let cells = [0u8; 8];
+        let out = Sweep::new()
+            .serial()
+            .with_seed_policy(SeedPolicy::PerCell)
+            .run(42, &cells, |ctx, _| ctx.seed);
+        let mut seen = out.results.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 8, "derived seeds must be distinct");
+        assert_eq!(out.results[3], derive_seed(42, 3));
+    }
+
+    #[test]
+    fn base_pool_loads_each_key_exactly_once() {
+        let pool: BasePool<u32, Vec<u32>> = BasePool::new([1, 3, 6]);
+        let cells: Vec<u32> = (0..20).flat_map(|_| [1u32, 3, 6]).collect();
+        let out = Sweep::new().with_threads(8).run(0, &cells, |_, &rf| {
+            let snap = pool.snapshot(&rf, || vec![rf; 4]);
+            snap.len() as u32 + rf
+        });
+        assert_eq!(pool.loads(), 3, "each base state must load exactly once");
+        assert!(out.results.iter().zip(&cells).all(|(r, rf)| *r == rf + 4));
+        let mut telemetry = out.telemetry;
+        telemetry.record_pool(&pool);
+        assert_eq!(telemetry.base_loads, 3);
+        assert_eq!(telemetry.base_states, 3);
+        assert!(telemetry.summary().contains("3 base loads"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn base_pool_rejects_undeclared_keys() {
+        let pool: BasePool<u32, u32> = BasePool::new([1, 2]);
+        pool.get_or_load(&9, || 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // A cheap stand-in for a simulated run: a deterministic function of
+        // (cell spec, derived seed).
+        let cells: Vec<u64> = (0..40).map(|i| i * 31).collect();
+        let run = |sweep: Sweep| {
+            sweep
+                .with_seed_policy(SeedPolicy::PerCell)
+                .run(7, &cells, |ctx, &c| {
+                    let mut acc = ctx.seed ^ c;
+                    for _ in 0..(c % 11) {
+                        acc = acc.rotate_left(13).wrapping_mul(0x2545F4914F6CDD1D);
+                    }
+                    acc
+                })
+                .results
+        };
+        assert_eq!(
+            run(Sweep::new().with_threads(6)),
+            run(Sweep::new().serial())
+        );
+    }
+
+    #[test]
+    fn empty_sweep_is_harmless() {
+        let out = Sweep::new().run(1, &[] as &[u8], |_, _| 0u8);
+        assert!(out.results.is_empty());
+        assert_eq!(out.telemetry.utilization(), 0.0);
+    }
+}

@@ -146,6 +146,25 @@ impl Cluster {
         &self.nodes[node.index()]
     }
 
+    /// A copy-on-write snapshot of the cluster. Every immutable SSTable run
+    /// is shared behind an `Arc` (see [`storage::SsTable`]), so snapshotting
+    /// a loaded cluster costs O(metadata) rather than O(data); the snapshot
+    /// then diverges independently as it serves traffic.
+    pub fn snapshot(&self) -> Self {
+        self.clone()
+    }
+
+    /// True when every node's runs are still shared with `other` — both are
+    /// undiverged snapshots of one loaded state.
+    pub fn shares_storage_with(&self, other: &Self) -> bool {
+        self.nodes.len() == other.nodes.len()
+            && self
+                .nodes
+                .iter()
+                .zip(&other.nodes)
+                .all(|(a, b)| a.lsm.shares_tables_with(&b.lsm))
+    }
+
     /// Mutable node access (tests and ablations).
     pub fn node_mut(&mut self, node: NodeId) -> &mut CNode {
         &mut self.nodes[node.index()]
@@ -342,7 +361,10 @@ impl Cluster {
             },
         );
         sim.schedule_at(rx_done, W::from(Event::Arrive { op: token }));
-        sim.schedule_at(rx_done + RPC_TIMEOUT_US, W::from(Event::Timeout { op: token }));
+        sim.schedule_at(
+            rx_done + RPC_TIMEOUT_US,
+            W::from(Event::Timeout { op: token }),
+        );
     }
 
     /// Dispatch one internal event.
@@ -522,8 +544,7 @@ impl Cluster {
                 });
             }
         }
-        let bytes =
-            self.config.costs.msg_overhead_bytes + entry_encoded_len(&key, &cell);
+        let bytes = self.config.costs.msg_overhead_bytes + entry_encoded_len(&key, &cell);
         let expected = live.len() as u32;
         for r in live {
             let arr = self.net_to(coord, r, bytes, t1);
@@ -574,8 +595,7 @@ impl Cluster {
             self.respond(sim, op, coord, t1, OpResult::Error(OpError::Unavailable));
             return;
         }
-        let fanout = live.len() as u32 > needed
-            && sim.rng().chance(self.config.read_repair_chance);
+        let fanout = live.len() as u32 > needed && sim.rng().chance(self.config.read_repair_chance);
         if fanout {
             self.metrics.repair_fanouts += 1;
         }
@@ -662,8 +682,7 @@ impl Cluster {
         // slice resolver): with the configured chance the round queries
         // every live replica of the range and reconciles across all of
         // them — this is what couples scan cost to the replication factor.
-        let fanout = live.len() as u32 > needed
-            && sim.rng().chance(self.config.read_repair_chance);
+        let fanout = live.len() as u32 > needed && sim.rng().chance(self.config.read_repair_chance);
         if fanout {
             self.metrics.repair_fanouts += 1;
         }
@@ -870,9 +889,9 @@ impl Cluster {
                 let winner = reconcile(r.results.iter().map(|(_, c)| c.clone()));
                 if let Some(w) = &winner {
                     for (n, c) in &r.results {
-                        let stale = c.as_ref().is_none_or(|c| {
-                            c.ts < w.ts || (c.ts == w.ts && c != w)
-                        });
+                        let stale = c
+                            .as_ref()
+                            .is_none_or(|c| c.ts < w.ts || (c.ts == w.ts && c != w));
                         if stale {
                             repairs.push(*n);
                         }
@@ -915,8 +934,7 @@ impl Cluster {
         }
         if finished {
             for (target, cell) in repairs {
-                let bytes =
-                    self.config.costs.msg_overhead_bytes + entry_encoded_len(&key, &cell);
+                let bytes = self.config.costs.msg_overhead_bytes + entry_encoded_len(&key, &cell);
                 let arr = self.net_to(coord, target, bytes, t1);
                 sim.schedule_at(
                     arr,
@@ -959,10 +977,7 @@ impl Cluster {
                 rows.retain(|(k, _)| k < end);
             }
             let exhausted = rows.len() < limit;
-            let t3 = n
-                .hw
-                .cpu
-                .acquire(t2, costs.scan_row_us * rows.len() as u64);
+            let t3 = n.hw.cpu.acquire(t2, costs.scan_row_us * rows.len() as u64);
             (rows, exhausted, t3)
         };
         if !count {
@@ -1004,7 +1019,11 @@ impl Cluster {
         enum Next {
             Wait,
             Respond(Vec<(Key, Cell)>),
-            Continue { primary: usize, start: Key, remaining: usize },
+            Continue {
+                primary: usize,
+                start: Key,
+                remaining: usize,
+            },
         }
         let next = {
             let Some(p) = self.pending.get_mut(&op) else {
@@ -1104,8 +1123,8 @@ impl Cluster {
         for hint in hints {
             if self.is_up(hint.target) {
                 self.metrics.hints_replayed += 1;
-                let bytes = self.config.costs.msg_overhead_bytes
-                    + entry_encoded_len(&hint.key, &hint.cell);
+                let bytes =
+                    self.config.costs.msg_overhead_bytes + entry_encoded_len(&hint.key, &hint.cell);
                 let arr = self.net_to(node, hint.target, bytes, t);
                 t += 10; // pace hint delivery slightly
                 sim.schedule_at(
@@ -1132,9 +1151,7 @@ fn cell_version(c: &Option<Cell>) -> u64 {
 
 /// Fold versions with last-write-wins; `None`s contribute nothing.
 fn reconcile(cells: impl Iterator<Item = Option<Cell>>) -> Option<Cell> {
-    cells
-        .flatten()
-        .reduce(Cell::reconcile)
+    cells.flatten().reduce(Cell::reconcile)
 }
 
 #[cfg(test)]
@@ -1415,7 +1432,11 @@ mod tests {
         });
         let stale_node = make_stale_replica(&mut h, 2, "new");
         assert_eq!(
-            h.cluster.read_local(stale_node, &key(0)).unwrap().value.as_deref(),
+            h.cluster
+                .read_local(stale_node, &key(0))
+                .unwrap()
+                .value
+                .as_deref(),
             Some(&b"old"[..]),
             "replica missed the overwrite while down"
         );
@@ -1465,7 +1486,11 @@ mod tests {
         let r = h.run_one(StoreOp::Read { key: key(0) });
         match r.result {
             OpResult::Value(Some(cell)) => {
-                assert_eq!(cell.value.as_deref(), Some(&b"new"[..]), "quorum reconciles");
+                assert_eq!(
+                    cell.value.as_deref(),
+                    Some(&b"new"[..]),
+                    "quorum reconciles"
+                );
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -1491,11 +1516,7 @@ mod tests {
             let mut done_at = 0;
             while let Some(Ev::Store(ev)) = h.sim.next() {
                 h.cluster.handle(&mut h.sim, ev);
-                if h.cluster
-                    .drain_completions()
-                    .iter()
-                    .any(|c| c.token == t)
-                {
+                if h.cluster.drain_completions().iter().any(|c| c.token == t) {
                     done_at = h.sim.now();
                 }
             }
@@ -1504,7 +1525,6 @@ mod tests {
         assert!(lat[0] <= lat[1] && lat[1] <= lat[2], "latencies: {lat:?}");
         assert!(lat[2] > lat[0], "ALL must cost more than ONE: {lat:?}");
     }
-
 
     #[test]
     fn gc_pause_delays_all_writes_but_not_one() {
@@ -1518,7 +1538,10 @@ mod tests {
             cfg.pause_duration_us = 0;
             let mut h = Harness::new(cfg);
             // Warm the path so coordinator rotation is identical.
-            h.run_one(StoreOp::Insert { key: key(1), value: k("x") });
+            h.run_one(StoreOp::Insert {
+                key: key(1),
+                value: k("x"),
+            });
             let reps = h.cluster.ring().replicas(&key(0), 3);
             // Manually pause the third replica for 50ms.
             let now = h.sim.now();
@@ -1527,7 +1550,10 @@ mod tests {
                 node.hw.cpu.acquire(now, 50_000);
             }
             let issue = h.sim.now();
-            let t = h.submit(StoreOp::Insert { key: key(0), value: k("y") });
+            let t = h.submit(StoreOp::Insert {
+                key: key(0),
+                value: k("y"),
+            });
             let mut done = 0;
             while let Some(Ev::Store(ev)) = h.sim.next() {
                 h.cluster.handle(&mut h.sim, ev);

@@ -148,7 +148,10 @@ mod tests {
     #[test]
     fn maintain_is_noop_below_threshold() {
         let mut n = node();
-        n.lsm.put(Bytes::from_static(b"a"), Cell::live(Bytes::from_static(b"v"), 1));
+        n.lsm.put(
+            Bytes::from_static(b"a"),
+            Cell::live(Bytes::from_static(b"v"), 1),
+        );
         assert_eq!(n.maintain(0), (0, 0));
     }
 }

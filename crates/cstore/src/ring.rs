@@ -85,11 +85,7 @@ impl Ring {
     pub fn new(nodes: usize, partitioner: Partitioner) -> Self {
         assert!(nodes > 0);
         if let Partitioner::OrderPreserving { tokens } = &partitioner {
-            assert_eq!(
-                tokens.len(),
-                nodes,
-                "need exactly one token per node"
-            );
+            assert_eq!(tokens.len(), nodes, "need exactly one token per node");
         }
         Self { partitioner, nodes }
     }
@@ -194,15 +190,9 @@ mod tests {
     #[test]
     fn replicas_are_distinct_successors() {
         let r = ordered_ring();
-        assert_eq!(
-            r.replicas(b"g", 3),
-            vec![NodeId(1), NodeId(2), NodeId(3)]
-        );
+        assert_eq!(r.replicas(b"g", 3), vec![NodeId(1), NodeId(2), NodeId(3)]);
         // Wrap around the ring.
-        assert_eq!(
-            r.replicas(b"z", 3),
-            vec![NodeId(3), NodeId(0), NodeId(1)]
-        );
+        assert_eq!(r.replicas(b"z", 3), vec![NodeId(3), NodeId(0), NodeId(1)]);
     }
 
     #[test]

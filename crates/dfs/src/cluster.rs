@@ -46,7 +46,9 @@ impl DfsCluster {
         assert!(replication >= 1, "replication factor must be at least 1");
         Self {
             namenode: NameNode::new(),
-            datanodes: (0..nodes as u32).map(|i| DataNode::new(NodeId(i))).collect(),
+            datanodes: (0..nodes as u32)
+                .map(|i| DataNode::new(NodeId(i)))
+                .collect(),
             replication,
         }
     }
@@ -284,7 +286,13 @@ mod tests {
     fn replicas_actually_stored() {
         let mut fs = DfsCluster::new(5, 3);
         let f = fs.create_file("/t");
-        let w = fs.append_block(f, 64, Some(Bytes::from_static(b"data")), NodeId(0), &mut rng());
+        let w = fs.append_block(
+            f,
+            64,
+            Some(Bytes::from_static(b"data")),
+            NodeId(0),
+            &mut rng(),
+        );
         for &n in &w.pipeline {
             assert!(fs.datanode(n).has(w.block));
             assert_eq!(fs.read_payload(w.block, n).as_deref(), Some(&b"data"[..]));

@@ -114,7 +114,10 @@ mod tests {
         let mut d = DataNode::new(NodeId(3));
         d.store(BlockId(1), 5, Some(Bytes::from_static(b"hello")));
         assert!(d.has(BlockId(1)));
-        assert_eq!(d.get(BlockId(1)).unwrap().payload.as_deref(), Some(&b"hello"[..]));
+        assert_eq!(
+            d.get(BlockId(1)).unwrap().payload.as_deref(),
+            Some(&b"hello"[..])
+        );
         assert_eq!(d.used_bytes(), 5);
         assert_eq!(d.node(), NodeId(3));
     }

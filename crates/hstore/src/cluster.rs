@@ -154,6 +154,25 @@ impl Cluster {
         &self.regions
     }
 
+    /// A copy-on-write snapshot of the cluster. Every immutable SSTable run
+    /// is shared behind an `Arc` (see [`storage::SsTable`]), so snapshotting
+    /// a loaded cluster costs O(metadata) rather than O(data); the snapshot
+    /// then diverges independently as it serves traffic.
+    pub fn snapshot(&self) -> Self {
+        self.clone()
+    }
+
+    /// True when every region's runs are still shared with `other` — both
+    /// are undiverged snapshots of one loaded state.
+    pub fn shares_storage_with(&self, other: &Self) -> bool {
+        self.regions.len() == other.regions.len()
+            && self
+                .regions
+                .iter()
+                .zip(other.regions.iter())
+                .all(|(a, b)| a.lsm.shares_tables_with(&b.lsm))
+    }
+
     /// The underlying filesystem (assertions).
     pub fn fs(&self) -> &DfsCluster {
         &self.fs
@@ -691,13 +710,7 @@ impl Cluster {
         }
     }
 
-    fn on_scan_exec<W: From<Event>>(
-        &mut self,
-        sim: &mut Sim<W>,
-        op: u64,
-        idx: usize,
-        start: Key,
-    ) {
+    fn on_scan_exec<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: u64, idx: usize, start: Key) {
         if !self.pending.contains_key(&op) {
             return;
         }
@@ -1014,7 +1027,9 @@ mod tests {
         }
         let out = h.run();
         assert_eq!(out.len(), 20);
-        assert!(out.iter().all(|c| matches!(c.result, OpResult::Written { .. })));
+        assert!(out
+            .iter()
+            .all(|c| matches!(c.result, OpResult::Written { .. })));
         let m = h.cluster.metrics();
         assert!(
             m.wal_groups < 20,

@@ -81,10 +81,7 @@ impl RegionMap {
 
     /// Index of the region containing `key`.
     pub fn region_of(&self, key: &[u8]) -> usize {
-        match self
-            .regions
-            .binary_search_by(|r| r.start.as_ref().cmp(key))
-        {
+        match self.regions.binary_search_by(|r| r.start.as_ref().cmp(key)) {
             Ok(i) => i,
             Err(0) => 0,
             Err(i) => i - 1,

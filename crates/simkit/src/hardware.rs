@@ -68,8 +68,10 @@ impl Disk {
     /// Random read of `bytes` (one positioning cost plus transfer).
     pub fn random_read(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.read_bytes += bytes;
-        self.queue
-            .acquire(now, self.profile.seek_us + transfer_time(bytes, self.profile.read_bw))
+        self.queue.acquire(
+            now,
+            self.profile.seek_us + transfer_time(bytes, self.profile.read_bw),
+        )
     }
 
     /// Sequential read of `bytes` (transfer only; head already positioned).
@@ -82,8 +84,10 @@ impl Disk {
     /// Random write of `bytes` (positioning plus transfer).
     pub fn random_write(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.written_bytes += bytes;
-        self.queue
-            .acquire(now, self.profile.seek_us + transfer_time(bytes, self.profile.write_bw))
+        self.queue.acquire(
+            now,
+            self.profile.seek_us + transfer_time(bytes, self.profile.write_bw),
+        )
     }
 
     /// Sequential (log-style) write of `bytes`.

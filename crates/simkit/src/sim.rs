@@ -64,7 +64,11 @@ impl<E> Sim<E> {
     /// builds and panics in debug builds.
     #[inline]
     pub fn schedule_at(&mut self, time: SimTime, event: E) {
-        debug_assert!(time >= self.now, "event scheduled in the past: {time} < {}", self.now);
+        debug_assert!(
+            time >= self.now,
+            "event scheduled in the past: {time} < {}",
+            self.now
+        );
         self.queue.push(time.max(self.now), event);
     }
 

@@ -97,7 +97,14 @@ mod tests {
     fn dissimilar_sizes_do_not_mix() {
         let p = SizeTieredPolicy::default();
         // Three small and three huge: no bucket reaches four members.
-        let tables = [t(1, 100), t(2, 100), t(3, 100), t(4, 1_000_000), t(5, 1_000_000), t(6, 1_000_000)];
+        let tables = [
+            t(1, 100),
+            t(2, 100),
+            t(3, 100),
+            t(4, 1_000_000),
+            t(5, 1_000_000),
+            t(6, 1_000_000),
+        ];
         assert_eq!(p.pick(&tables), None);
     }
 
@@ -107,7 +114,13 @@ mod tests {
             min_threshold: 2,
             ..Default::default()
         };
-        let tables = [t(1, 100), t(2, 100), t(3, 1_000_000), t(4, 1_000_000), t(5, 1_000_000)];
+        let tables = [
+            t(1, 100),
+            t(2, 100),
+            t(3, 1_000_000),
+            t(4, 1_000_000),
+            t(5, 1_000_000),
+        ];
         let picked = p.pick(&tables).expect("bucket");
         assert_eq!(picked.len(), 3);
         assert!(picked.contains(&TableId(3)));

@@ -106,7 +106,10 @@ impl IoPlan {
 
     /// Count of bloom-filter skips.
     pub fn bloom_skips(&self) -> u32 {
-        self.ops.iter().filter(|o| matches!(o, IoOp::BloomSkip)).count() as u32
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, IoOp::BloomSkip))
+            .count() as u32
     }
 
     /// True when the operation never left memory.

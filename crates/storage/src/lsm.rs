@@ -283,11 +283,7 @@ impl LsmTree {
         let bytes = table.total_bytes();
         self.tables.push(table);
         self.wal.truncate_through(watermark);
-        let compaction_due = self
-            .config
-            .compaction
-            .pick(&self.table_sizes())
-            .is_some();
+        let compaction_due = self.config.compaction.pick(&self.table_sizes()).is_some();
         Some(FlushReceipt {
             table: id,
             bytes,
@@ -317,10 +313,8 @@ impl LsmTree {
                 kept.push(table);
             }
         }
-        let sources: Vec<Vec<(Key, Cell)>> = consumed
-            .iter()
-            .map(|t| t.entries().to_vec())
-            .collect();
+        let sources: Vec<Vec<(Key, Cell)>> =
+            consumed.iter().map(|t| t.entries().to_vec()).collect();
         // Tombstones can only be dropped when no older run might still hold
         // a shadowed value.
         let merged = merge_entries(sources, major);
@@ -456,6 +450,19 @@ impl LsmTree {
     pub fn tables(&self) -> Vec<(TableId, u64)> {
         self.table_sizes()
     }
+
+    /// True when every run of `self` shares its allocation with the
+    /// corresponding run of `other` — i.e. both trees are copy-on-write
+    /// snapshots of one loaded state. Trees that have since compacted or
+    /// flushed diverge and stop sharing the replaced runs.
+    pub fn shares_tables_with(&self, other: &LsmTree) -> bool {
+        self.tables.len() == other.tables.len()
+            && self
+                .tables
+                .iter()
+                .zip(&other.tables)
+                .all(|(a, b)| a.shares_storage_with(b))
+    }
 }
 
 #[cfg(test)]
@@ -554,7 +561,10 @@ mod tests {
         let mut tree = LsmTree::new(small_config());
         let mut due = false;
         for i in 0..1000 {
-            let r = tree.put(k(&format!("user{i:06}")), Cell::live(Bytes::from(vec![7u8; 64]), 1));
+            let r = tree.put(
+                k(&format!("user{i:06}")),
+                Cell::live(Bytes::from(vec![7u8; 64]), 1),
+            );
             if r.flush_due {
                 due = true;
                 break;
@@ -576,7 +586,11 @@ mod tests {
         sorted.sort();
         assert_eq!(keys, sorted);
         // Row 25 must be the ts=2 version.
-        let row25 = s.rows.iter().find(|(key, _)| key == &k("user000025")).unwrap();
+        let row25 = s
+            .rows
+            .iter()
+            .find(|(key, _)| key == &k("user000025"))
+            .unwrap();
         assert_eq!(row25.1.ts, 2);
     }
 
@@ -669,6 +683,26 @@ mod tests {
         let n = tree.sync_wal();
         assert!(n > 0);
         assert_eq!(tree.wal_unsynced_bytes(), 0);
+    }
+
+    #[test]
+    fn snapshot_clone_shares_runs_until_divergence() {
+        let mut tree = LsmTree::new(small_config());
+        fill(&mut tree, 0..100, 1);
+        tree.flush();
+        let mut snap = tree.clone();
+        assert!(tree.shares_tables_with(&snap));
+        // Writes into the snapshot never leak into the base...
+        snap.put(k("user000001"), Cell::live(k("mutated"), 9));
+        assert_eq!(
+            tree.get(b"user000001").cell.unwrap().value.as_deref(),
+            Some(&b"v1-1"[..])
+        );
+        // ...and a flush in the snapshot leaves the base's runs untouched.
+        snap.flush();
+        assert!(!tree.shares_tables_with(&snap));
+        assert_eq!(tree.table_count(), 1);
+        assert_eq!(snap.table_count(), 2);
     }
 
     #[test]

@@ -90,10 +90,7 @@ impl<I: Iterator<Item = (Key, Cell)>> Iterator for MergeIter<I> {
 /// Convenience: merge vectors of entries (consumed) into one reconciled,
 /// sorted vector. `drop_tombstones` removes deletion markers from the output
 /// (valid only for a full/major merge where no older data survives).
-pub fn merge_entries(
-    sources: Vec<Vec<(Key, Cell)>>,
-    drop_tombstones: bool,
-) -> Vec<(Key, Cell)> {
+pub fn merge_entries(sources: Vec<Vec<(Key, Cell)>>, drop_tombstones: bool) -> Vec<(Key, Cell)> {
     let iters: Vec<_> = sources.into_iter().map(|v| v.into_iter()).collect();
     MergeIter::new(iters)
         .filter(|(_, c)| !(drop_tombstones && c.is_tombstone()))
@@ -126,7 +123,11 @@ mod tests {
     #[test]
     fn duplicate_keys_reconcile_to_newest() {
         let out = merge_entries(
-            vec![vec![e("a", "old", 1)], vec![e("a", "new", 2)], vec![e("a", "mid", 1)]],
+            vec![
+                vec![e("a", "old", 1)],
+                vec![e("a", "new", 2)],
+                vec![e("a", "mid", 1)],
+            ],
             false,
         );
         assert_eq!(out.len(), 1);
@@ -146,7 +147,10 @@ mod tests {
     #[test]
     fn tombstones_dropped_in_major_merge() {
         let out = merge_entries(
-            vec![vec![e("a", "v", 1), e("b", "w", 1)], vec![(k("a"), Cell::tombstone(2))]],
+            vec![
+                vec![e("a", "v", 1), e("b", "w", 1)],
+                vec![(k("a"), Cell::tombstone(2))],
+            ],
             true,
         );
         assert_eq!(out.len(), 1);

@@ -5,6 +5,8 @@
 //! block; scans read consecutive blocks. The block is the unit of disk I/O
 //! and of block-cache residency.
 
+use std::sync::Arc;
+
 use crate::bloom::BloomFilter;
 use crate::types::{entry_encoded_len, Cell, Key};
 
@@ -18,10 +20,10 @@ impl std::fmt::Display for TableId {
     }
 }
 
-/// An immutable sorted run with block structure, index, and bloom filter.
-#[derive(Debug, Clone)]
-pub struct SsTable {
-    id: TableId,
+/// The immutable payload of a run: entries, block structure, index, bloom.
+/// Built once, never mutated, shared between clones of the owning table.
+#[derive(Debug)]
+struct SsTableCore {
     entries: Vec<(Key, Cell)>,
     /// Index into `entries` where each block begins; always starts with 0.
     block_starts: Vec<u32>,
@@ -31,6 +33,18 @@ pub struct SsTable {
     block_bytes: Vec<u64>,
     bloom: BloomFilter,
     total_bytes: u64,
+}
+
+/// An immutable sorted run with block structure, index, and bloom filter.
+///
+/// Cloning is O(1): the run's data lives behind an [`Arc`], so clones of a
+/// loaded store (snapshots for parallel experiment cells) share every run
+/// rather than copying it. Compaction replaces whole tables instead of
+/// mutating them, so sharing is never observable.
+#[derive(Debug, Clone)]
+pub struct SsTable {
+    id: TableId,
+    core: Arc<SsTableCore>,
 }
 
 impl SsTable {
@@ -67,13 +81,22 @@ impl SsTable {
         }
         Self {
             id,
-            entries,
-            block_starts,
-            block_first_keys,
-            block_bytes,
-            bloom,
-            total_bytes,
+            core: Arc::new(SsTableCore {
+                entries,
+                block_starts,
+                block_first_keys,
+                block_bytes,
+                bloom,
+                total_bytes,
+            }),
         }
+    }
+
+    /// True when `self` and `other` share one underlying allocation (they
+    /// are clones of the same built run). Snapshot tests use this to prove
+    /// store clones are copy-on-write rather than deep copies.
+    pub fn shares_storage_with(&self, other: &SsTable) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
     }
 
     /// The table's identity.
@@ -83,51 +106,52 @@ impl SsTable {
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.core.entries.len()
     }
 
     /// True when the table holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.core.entries.is_empty()
     }
 
     /// Total encoded bytes.
     pub fn total_bytes(&self) -> u64 {
-        self.total_bytes
+        self.core.total_bytes
     }
 
     /// Number of blocks.
     pub fn block_count(&self) -> usize {
-        self.block_starts.len()
+        self.core.block_starts.len()
     }
 
     /// Encoded bytes of one block.
     pub fn block_len(&self, block: usize) -> u64 {
-        self.block_bytes[block]
+        self.core.block_bytes[block]
     }
 
     /// Smallest key, if non-empty.
     pub fn min_key(&self) -> Option<&Key> {
-        self.entries.first().map(|(k, _)| k)
+        self.core.entries.first().map(|(k, _)| k)
     }
 
     /// Largest key, if non-empty.
     pub fn max_key(&self) -> Option<&Key> {
-        self.entries.last().map(|(k, _)| k)
+        self.core.entries.last().map(|(k, _)| k)
     }
 
     /// Bloom-filter check: false means the key is definitely absent.
     pub fn may_contain(&self, key: &[u8]) -> bool {
-        self.bloom.may_contain(key)
+        self.core.bloom.may_contain(key)
     }
 
     /// Which block could contain `key`, or `None` when the key sorts before
     /// the first block or the table is empty.
     pub fn block_for(&self, key: &[u8]) -> Option<usize> {
-        if self.block_first_keys.is_empty() {
+        if self.core.block_first_keys.is_empty() {
             return None;
         }
         match self
+            .core
             .block_first_keys
             .binary_search_by(|first| first.as_ref().cmp(key))
         {
@@ -139,11 +163,12 @@ impl SsTable {
 
     /// Entry range `[start, end)` of a block within the table.
     fn block_range(&self, block: usize) -> (usize, usize) {
-        let start = self.block_starts[block] as usize;
+        let start = self.core.block_starts[block] as usize;
         let end = self
+            .core
             .block_starts
             .get(block + 1)
-            .map_or(self.entries.len(), |&s| s as usize);
+            .map_or(self.core.entries.len(), |&s| s as usize);
         (start, end)
     }
 
@@ -151,7 +176,7 @@ impl SsTable {
     /// reading that block).
     pub fn get_in_block(&self, block: usize, key: &[u8]) -> Option<&Cell> {
         let (start, end) = self.block_range(block);
-        let slice = &self.entries[start..end];
+        let slice = &self.core.entries[start..end];
         slice
             .binary_search_by(|(k, _)| k.as_ref().cmp(key))
             .ok()
@@ -170,24 +195,25 @@ impl SsTable {
 
     /// Index of the first entry with key >= `start`.
     pub fn lower_bound(&self, start: &[u8]) -> usize {
-        self.entries
+        self.core
+            .entries
             .partition_point(|(k, _)| k.as_ref() < start)
     }
 
     /// Iterate entries from the first key >= `start`.
     pub fn entries_from(&self, start: &[u8]) -> impl Iterator<Item = &(Key, Cell)> {
-        self.entries[self.lower_bound(start)..].iter()
+        self.core.entries[self.lower_bound(start)..].iter()
     }
 
     /// All entries in key order.
     pub fn entries(&self) -> &[(Key, Cell)] {
-        &self.entries
+        &self.core.entries
     }
 
     /// The block containing entry index `idx`.
     pub fn block_of_entry(&self, idx: usize) -> usize {
-        debug_assert!(idx < self.entries.len());
-        match self.block_starts.binary_search(&(idx as u32)) {
+        debug_assert!(idx < self.core.entries.len());
+        match self.core.block_starts.binary_search(&(idx as u32)) {
             Ok(b) => b,
             Err(b) => b - 1,
         }
@@ -205,7 +231,12 @@ mod tests {
 
     fn table(n: usize, block_size: u64) -> SsTable {
         let entries: Vec<_> = (0..n)
-            .map(|i| (k(&format!("user{i:06}")), Cell::live(k(&format!("v{i}")), i as u64)))
+            .map(|i| {
+                (
+                    k(&format!("user{i:06}")),
+                    Cell::live(k(&format!("v{i}")), i as u64),
+                )
+            })
             .collect();
         SsTable::build(TableId(1), entries, block_size)
     }
@@ -261,7 +292,10 @@ mod tests {
             .entries_from(b"user000007")
             .map(|(key, _)| key.clone())
             .collect();
-        assert_eq!(from, vec![k("user000007"), k("user000008"), k("user000009")]);
+        assert_eq!(
+            from,
+            vec![k("user000007"), k("user000008"), k("user000009")]
+        );
         // A start between keys lands on the next one.
         let from: Vec<_> = t
             .entries_from(b"user0000071")
@@ -275,10 +309,11 @@ mod tests {
         let t = table(300, 200);
         for idx in [0usize, 1, 150, 299] {
             let b = t.block_of_entry(idx);
-            let (start, end) = (t.block_starts[b] as usize, {
-                t.block_starts
+            let (start, end) = (t.core.block_starts[b] as usize, {
+                t.core
+                    .block_starts
                     .get(b + 1)
-                    .map_or(t.entries.len(), |&s| s as usize)
+                    .map_or(t.core.entries.len(), |&s| s as usize)
             });
             assert!((start..end).contains(&idx));
         }
@@ -292,6 +327,18 @@ mod tests {
         assert_eq!(t.get(b"x"), None);
         assert_eq!(t.block_for(b"x"), None);
         assert_eq!(t.min_key(), None);
+    }
+
+    #[test]
+    fn clones_share_one_allocation() {
+        let t = table(500, 256);
+        let c = t.clone();
+        assert!(t.shares_storage_with(&c));
+        // Distinct builds never share, even with identical contents.
+        let rebuilt = table(500, 256);
+        assert!(!t.shares_storage_with(&rebuilt));
+        // Shared data reads identically through either handle.
+        assert_eq!(t.get(b"user000123"), c.get(b"user000123"));
     }
 
     #[test]

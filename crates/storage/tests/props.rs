@@ -14,7 +14,11 @@ fn key(id: u64) -> Bytes {
 fn arb_entries(max_keys: u64) -> impl Strategy<Value = Vec<(u64, Vec<u8>, u64)>> {
     // (key id, value, timestamp)
     prop::collection::vec(
-        (0..max_keys, prop::collection::vec(any::<u8>(), 0..24), 0u64..1_000),
+        (
+            0..max_keys,
+            prop::collection::vec(any::<u8>(), 0..24),
+            0u64..1_000,
+        ),
         0..200,
     )
 }

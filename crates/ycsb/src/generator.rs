@@ -268,7 +268,12 @@ mod tests {
         assert!(max > 0.02, "no hot item after scrambling: {max}");
         // ...but the hottest item is no longer item 0 specifically (with
         // overwhelming probability under this seed).
-        let hottest = counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        let hottest = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .unwrap()
+            .0;
         assert_ne!(hottest, 0);
     }
 

@@ -169,10 +169,7 @@ impl RunMetrics {
 
     /// Record one completed operation.
     pub fn record(&mut self, kind: OpKind, latency_us: u64) {
-        self.per_op
-            .entry(kind)
-            .or_default()
-            .record(latency_us);
+        self.per_op.entry(kind).or_default().record(latency_us);
         self.all
             .get_or_insert_with(Histogram::new)
             .record(latency_us);

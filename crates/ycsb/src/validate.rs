@@ -92,7 +92,10 @@ mod tests {
         let mut t = StalenessTracker::new();
         t.write_acked(k("a"), 100);
         assert!(t.check(t.expected(b"a"), Some(50)));
-        assert!(t.check(t.expected(b"a"), None), "not-found after an ack is stale");
+        assert!(
+            t.check(t.expected(b"a"), None),
+            "not-found after an ack is stale"
+        );
         assert_eq!(t.counts(), (2, 2));
         assert!((t.stale_fraction() - 1.0).abs() < 1e-12);
     }

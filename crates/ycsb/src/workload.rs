@@ -12,7 +12,7 @@ use storage::OpKind;
 
 /// Which request distribution a workload uses (resolved into a
 /// [`RequestDistribution`] once the record count is known).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DistributionKind {
     /// Uniform over all records.
     Uniform,
@@ -25,7 +25,7 @@ pub enum DistributionKind {
 }
 
 /// An operation mix: fractions must sum to 1.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpMix {
     /// Fraction of point reads.
     pub read: f64,
@@ -75,7 +75,7 @@ impl OpMix {
 }
 
 /// A complete workload description.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadSpec {
     /// Short name used in reports (e.g. `"read latest"`).
     pub name: String,

@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use bytes::Bytes;
 use cloudserve::bench_core::driver::{self, DriverConfig};
 use cloudserve::bench_core::setup::{build_cstore, build_hstore, Scale};
 use cloudserve::bench_core::{DriverEvent, SimStore};
@@ -12,7 +13,6 @@ use cloudserve::cstore::Consistency;
 use cloudserve::simkit::Sim;
 use cloudserve::storage::{OpResult, StoreOp};
 use cloudserve::ycsb::{encode_key, WorkloadSpec};
-use bytes::Bytes;
 
 /// Drive one operation through a store and return its result with the
 /// virtual time it took.

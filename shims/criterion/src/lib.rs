@@ -1,0 +1,194 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the harness subset its benches use: [`black_box`],
+//! [`Criterion::bench_function`] with [`Bencher::iter`], `sample_size`,
+//! and the `criterion_group!` / `criterion_main!` macros (both forms).
+//!
+//! Instead of criterion's statistical machinery this harness takes
+//! `sample_size` wall-clock samples of an auto-calibrated iteration batch
+//! and prints min / median / mean nanoseconds per iteration. That is
+//! enough to compare the workspace's A-vs-B microbenches (e.g. snapshot
+//! clone vs full reload); it makes no outlier or confidence claims.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per measured sample; batches are sized to roughly hit it.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+/// The benchmark harness: owns settings and runs registered functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run `f` as a benchmark named `id` and print its per-iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Calibrate: grow the batch until one sample takes long enough to
+        // time reliably.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= SAMPLE_TARGET || b.iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (SAMPLE_TARGET.as_nanos() / b.elapsed.as_nanos().max(1) + 1) as u64
+            };
+            b.iters = (b.iters.saturating_mul(grow.clamp(2, 16))).min(1 << 30);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+
+        let min = per_iter.first().copied().unwrap_or(0.0);
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{id:<40} {:>12}/iter  (min {}, mean {}; {} samples x {} iters)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(mean),
+            self.sample_size,
+            b.iters,
+        );
+        self
+    }
+
+    /// Criterion prints a summary on drop; this harness already printed
+    /// per-benchmark lines, so this is a no-op hook for API parity.
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the harness-chosen batch of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $cfg:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("shim/self_test_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(black_box(3));
+                x
+            });
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2);
+        targets = tiny_bench
+    }
+
+    criterion_group!(benches_simple, tiny_bench);
+
+    #[test]
+    fn groups_run_to_completion() {
+        benches();
+        benches_simple();
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 us");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
+        assert_eq!(fmt_ns(3_e9), "3.000 s");
+    }
+}

@@ -1,13 +1,13 @@
 //! Integration tests pinning the consistency *semantics* (not performance)
 //! of the two stores across failure and repair scenarios.
 
+use bytes::Bytes;
 use cloudserve::bench_core::setup::{build_cstore, build_cstore_with, Scale};
 use cloudserve::bench_core::DriverEvent;
 use cloudserve::cstore::{Cluster, Consistency, Event};
 use cloudserve::simkit::Sim;
 use cloudserve::storage::{OpError, OpResult, StoreOp};
 use cloudserve::ycsb::encode_key;
-use bytes::Bytes;
 
 type Dsim = Sim<DriverEvent<Event>>;
 
@@ -149,7 +149,9 @@ fn hinted_handoff_converges_all_replicas_after_recovery() {
         h.c.drain_completions();
     }
     h.sim = sim;
-    let cell = h.c.read_local(victim, &encode_key(7)).expect("hint applied");
+    let cell =
+        h.c.read_local(victim, &encode_key(7))
+            .expect("hint applied");
     assert_eq!(cell.value.as_deref(), Some(&b"v2"[..]));
     assert!(h.c.metrics().hints_replayed >= 1);
 }

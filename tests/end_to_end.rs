@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: the full stack (simkit → storage → dfs →
 //! stores → ycsb → bench-core) driven end to end at smoke scale.
 
+use bytes::Bytes;
 use cloudserve::bench_core::driver::{self, DriverConfig};
 use cloudserve::bench_core::setup::{build_cstore, build_cstore_with, build_hstore, Scale};
 use cloudserve::bench_core::{DriverEvent, SimStore};
@@ -8,7 +9,6 @@ use cloudserve::cstore::Consistency;
 use cloudserve::simkit::Sim;
 use cloudserve::storage::{OpKind, OpResult, StoreOp};
 use cloudserve::ycsb::{encode_key, WorkloadSpec};
-use bytes::Bytes;
 
 fn quick(workload: WorkloadSpec, scale: &Scale) -> DriverConfig {
     DriverConfig {
@@ -50,7 +50,10 @@ fn quorum_and_write_all_never_serve_stale_reads() {
         let out = driver::run(&mut c, &quick(WorkloadSpec::read_update(), &scale));
         let (stale, checked) = out.metrics.staleness();
         assert!(checked > 0);
-        assert_eq!(stale, 0, "W+R>N must be strongly consistent ({read:?}/{write:?})");
+        assert_eq!(
+            stale, 0,
+            "W+R>N must be strongly consistent ({read:?}/{write:?})"
+        );
     }
 }
 
@@ -176,16 +179,10 @@ fn rmw_latency_exceeds_component_latencies() {
 #[test]
 fn read_repair_chance_zero_leaves_failures_unrepaired() {
     let scale = Scale::tiny();
-    let mut c = build_cstore_with(
-        &scale,
-        3,
-        Consistency::One,
-        Consistency::One,
-        |cfg| {
-            cfg.read_repair_chance = 0.0;
-            cfg.hinted_handoff = false;
-        },
-    );
+    let mut c = build_cstore_with(&scale, 3, Consistency::One, Consistency::One, |cfg| {
+        cfg.read_repair_chance = 0.0;
+        cfg.hinted_handoff = false;
+    });
     driver::load(&mut c, scale.records, scale.value_len, 5);
     let out = driver::run(&mut c, &quick(WorkloadSpec::read_mostly(), &scale));
     assert_eq!(out.errors, 0);
