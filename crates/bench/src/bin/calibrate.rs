@@ -29,6 +29,8 @@ fn main() {
         warmup_ops: 1_000,
         measure_ops: 8_000,
         seed: 42,
+        faults: Default::default(),
+        timeline_window_us: 0,
     };
 
     {
@@ -94,6 +96,8 @@ fn consistency_probe() {
             warmup_ops: 2_000,
             measure_ops: 15_000,
             seed: 42,
+            faults: Default::default(),
+            timeline_window_us: 0,
         };
         let out = driver::run(&mut c, &dcfg);
         let (hits, misses) = (0..c.len()).fold((0u64, 0u64), |(h, m), i| {

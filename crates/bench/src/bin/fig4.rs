@@ -1,0 +1,35 @@
+//! Regenerates Fig. 4: the failure-timeline experiment.
+//!
+//! Both stores, RF {1, 3, 5}, consistency levels ONE / QUORUM / write-ALL
+//! (Cassandra analog) and the implicit strong level (HBase analog), under
+//! a constant-rate workload while one node crashes and later recovers.
+//! Prints the phase-summary table and writes the per-window timeline to
+//! `results/fig4_failure.csv`.
+
+use bench_core::failure::{run_failure, FailureConfig};
+
+fn main() {
+    let cfg = if bench::quick_requested() {
+        FailureConfig::quick()
+    } else {
+        FailureConfig::default()
+    };
+    eprintln!(
+        "fig4: {} records, rf {:?}, {} threads, target {} ops/s, crash {:.1}s..{:.1}s",
+        cfg.scale.records,
+        cfg.rfs,
+        cfg.threads,
+        cfg.target_ops_per_sec,
+        cfg.crash_at_us as f64 / 1e6,
+        cfg.recover_at_us as f64 / 1e6,
+    );
+    let started = std::time::Instant::now();
+    let result = run_failure(&cfg);
+    eprintln!("fig4: done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!("fig4: {}", result.telemetry.summary());
+
+    println!("{}", result.render());
+    let path = bench::results_dir().join("fig4_failure.csv");
+    result.table().write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

@@ -8,6 +8,8 @@
 //!   vs RF, five workloads, both stores).
 //! * `fig3` — stress benchmark for consistency (runtime vs target under
 //!   ONE / QUORUM / write-ALL, Cassandra analog, RF=3).
+//! * `fig4` — failure timeline (throughput dip, error spike, and recovery
+//!   around a crash/recover fault, both stores × RF × consistency).
 //! * `ablations` — beyond-paper ablations (read repair, commit-log
 //!   durability, failover phases).
 //!

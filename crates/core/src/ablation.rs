@@ -11,6 +11,7 @@
 //!   errors before, during, and after a node failure.
 
 use cstore::{CommitlogSync, Consistency};
+use faults::FaultPlan;
 use simkit::{NodeId, Topology};
 use ycsb::WorkloadSpec;
 
@@ -69,6 +70,8 @@ impl AblationConfig {
             warmup_ops: self.warmup_ops,
             measure_ops: self.measure_ops,
             seed: self.seed,
+            faults: Default::default(),
+            timeline_window_us: 0,
         }
     }
 }
@@ -166,6 +169,19 @@ pub fn ablate_commitlog(cfg: &AblationConfig) -> Table {
 /// recovery.
 pub fn failover_phases(cfg: &AblationConfig) -> Table {
     let workload = WorkloadSpec::read_mostly;
+    let victim = NodeId(0);
+    // The fail/recover sequences ride on the fault-injection subsystem: a
+    // plan event at t=0 fires before the first issued op (fault wrapper
+    // events are scheduled ahead of the thread stagger), so "node down"
+    // measures a run that starts with the victim already dead, and
+    // "recovered" replays hints inside the same driver sim that serves
+    // the load.
+    let crash_now = FaultPlan::new().crash_at(victim, 0);
+    let recover_now = FaultPlan::new().recover_at(victim, 0);
+    let faulted = |mut dcfg: DriverConfig, plan: &FaultPlan| {
+        dcfg.faults = plan.clone();
+        dcfg
+    };
 
     // Each store's before/during/after sequence mutates one cluster, so the
     // phases stay serial inside a cell; the two stores run as parallel
@@ -181,21 +197,12 @@ pub fn failover_phases(cfg: &AblationConfig) -> Table {
                 let healthy = driver::run(&mut store, &cfg.driver(workload()));
                 rows.push(to_row("cstore healthy", &healthy, &store));
 
-                store.fail_node(NodeId(0));
-                let degraded = driver::run(&mut store, &cfg.driver(workload()));
+                let degraded =
+                    driver::run(&mut store, &faulted(cfg.driver(workload()), &crash_now));
                 rows.push(to_row("cstore node down", &degraded, &store));
 
-                // Recovery needs a sim to replay hints into; run a no-op
-                // sim tick.
-                let mut sim: simkit::Sim<crate::store::DriverEvent<cstore::Event>> =
-                    simkit::Sim::new(cfg.seed);
-                store.recover_node(&mut sim, NodeId(0));
-                while let Some(ev) = sim.next() {
-                    if let crate::store::DriverEvent::Store(e) = ev {
-                        cstore::Cluster::handle(&mut store, &mut sim, e);
-                    }
-                }
-                let recovered = driver::run(&mut store, &cfg.driver(workload()));
+                let recovered =
+                    driver::run(&mut store, &faulted(cfg.driver(workload()), &recover_now));
                 rows.push(to_row("cstore recovered", &recovered, &store));
                 rows
             }
@@ -206,12 +213,12 @@ pub fn failover_phases(cfg: &AblationConfig) -> Table {
                 let healthy = driver::run(&mut store, &cfg.driver(workload()));
                 rows.push(to_row("hstore healthy", &healthy, &store));
 
-                store.fail_server(NodeId(0));
-                let failed_over = driver::run(&mut store, &cfg.driver(workload()));
+                let failed_over =
+                    driver::run(&mut store, &faulted(cfg.driver(workload()), &crash_now));
                 rows.push(to_row("hstore after failover", &failed_over, &store));
 
-                store.recover_server(NodeId(0));
-                let recovered = driver::run(&mut store, &cfg.driver(workload()));
+                let recovered =
+                    driver::run(&mut store, &faulted(cfg.driver(workload()), &recover_now));
                 rows.push(to_row("hstore recovered", &recovered, &store));
                 rows
             }

@@ -286,6 +286,8 @@ pub fn run_consistency_with(cfg: &ConsistencyConfig, sweep: &Sweep) -> Consisten
             warmup_ops: cfg.warmup_ops,
             measure_ops: cfg.measure_ops,
             seed: ctx.seed,
+            faults: Default::default(),
+            timeline_window_us: 0,
         };
         let run = driver::run(&mut snapshot, &dcfg);
         let repair_writes = run

@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use faults::{FaultInjector, FaultPlan, FaultTarget};
 use simkit::{Sim, SimTime};
 use storage::{Key, OpKind, OpResult, StoreOp};
 use ycsb::{encode_key, KeySpace, RunMetrics, StalenessTracker, Throttle, ValuePool, WorkloadSpec};
@@ -36,6 +37,13 @@ pub struct DriverConfig {
     pub measure_ops: u64,
     /// Seed for all randomness in the run.
     pub seed: u64,
+    /// Faults injected during the run at their absolute virtual times. An
+    /// empty plan adds no events and leaves the run bit-identical to one
+    /// without fault machinery.
+    pub faults: FaultPlan,
+    /// Timeline window width (virtual µs) for time-bucketed metrics; `0`
+    /// (the default) disables timeline collection entirely.
+    pub timeline_window_us: u64,
 }
 
 impl DriverConfig {
@@ -50,6 +58,8 @@ impl DriverConfig {
             warmup_ops: 2_000,
             measure_ops: 20_000,
             seed: 42,
+            faults: FaultPlan::new(),
+            timeline_window_us: 0,
         }
     }
 }
@@ -69,6 +79,8 @@ pub struct RunOutcome {
     pub stale_fraction: f64,
     /// Virtual time the whole run took.
     pub sim_duration_us: u64,
+    /// Fault-plan events actually applied before the run finished.
+    pub faults_injected: u64,
     /// Store behaviour counters at the end of the run (cumulative).
     pub counters: Vec<(&'static str, u64)>,
 }
@@ -95,11 +107,17 @@ struct OpCtx {
     rmw_read_phase: bool,
 }
 
-/// Run one benchmark against a loaded store.
-pub fn run<S: SimStore>(store: &mut S, cfg: &DriverConfig) -> RunOutcome {
+/// Run one benchmark against a loaded store. Faults listed in
+/// [`DriverConfig::faults`] are scheduled into the same event queue as
+/// client wake-ups and store events, so they land at exact virtual
+/// instants interleaved with operations.
+pub fn run<S>(store: &mut S, cfg: &DriverConfig) -> RunOutcome
+where
+    S: SimStore + FaultTarget<Event = <S as SimStore>::Event>,
+{
     assert!(cfg.threads > 0, "need at least one client thread");
     let total = cfg.warmup_ops + cfg.measure_ops;
-    let mut sim: Sim<DriverEvent<S::Event>> = Sim::new(cfg.seed);
+    let mut sim: Sim<DriverEvent<<S as SimStore>::Event>> = Sim::new(cfg.seed);
     let mut dist = cfg.workload.request_distribution(cfg.records);
     let mut keyspace = KeySpace::new(cfg.records);
     let pool = ValuePool::new(cfg.value_len, 4);
@@ -114,6 +132,15 @@ pub fn run<S: SimStore>(store: &mut S, cfg: &DriverConfig) -> RunOutcome {
     let mut completed: u64 = 0;
     let mut window_start: SimTime = 0;
     let mut window_end: SimTime = 0;
+    if cfg.timeline_window_us > 0 {
+        metrics.enable_timeline(cfg.timeline_window_us);
+    }
+
+    // Faults first, so a fault at the same instant as a client wake-up
+    // applies before the operation is issued (matters for crash-at-zero
+    // plans, which must behave like a store failed before the run).
+    let mut injector = FaultInjector::new(cfg.faults.clone());
+    injector.schedule(&mut sim, |index| DriverEvent::Fault { index });
 
     // Stagger thread start within the first millisecond.
     for t in 0..cfg.threads {
@@ -221,6 +248,9 @@ pub fn run<S: SimStore>(store: &mut S, cfg: &DriverConfig) -> RunOutcome {
                 ctxs.insert(token, ctx);
                 store.submit(&mut sim, token, op);
             }
+            DriverEvent::Fault { index } => {
+                injector.fire(&mut sim, store, index);
+            }
             DriverEvent::Store(ev) => {
                 store.handle(&mut sim, ev);
             }
@@ -250,26 +280,32 @@ pub fn run<S: SimStore>(store: &mut S, cfg: &DriverConfig) -> RunOutcome {
                 store.submit(&mut sim, token, op);
                 continue;
             }
+            // The timeline (when enabled) spans the whole run including
+            // warm-up: a failure curve needs the pre-fault baseline.
             match &c.result {
                 OpResult::Written { ts } => {
                     tracker.write_acked(ctx.key.clone(), *ts);
+                    metrics.note_timeline(now, now - ctx.issued);
                     if in_window {
                         metrics.record(ctx.kind, now - ctx.issued);
                     }
                 }
                 OpResult::Value(cell) => {
                     let stale = tracker.check(ctx.expected_ts, cell.as_ref().map(|c| c.ts));
+                    metrics.note_timeline(now, now - ctx.issued);
                     if in_window {
                         metrics.record_staleness_check(stale);
                         metrics.record(ctx.kind, now - ctx.issued);
                     }
                 }
                 OpResult::Rows(_) => {
+                    metrics.note_timeline(now, now - ctx.issued);
                     if in_window {
                         metrics.record(ctx.kind, now - ctx.issued);
                     }
                 }
                 OpResult::Error(_) => {
+                    metrics.note_timeline_error(now);
                     if in_window {
                         metrics.record_error();
                     }
@@ -305,6 +341,7 @@ pub fn run<S: SimStore>(store: &mut S, cfg: &DriverConfig) -> RunOutcome {
             stale as f64 / checked as f64
         },
         sim_duration_us: sim.now(),
+        faults_injected: injector.applied(),
         counters: store.counters(),
         metrics,
     }

@@ -18,6 +18,10 @@
 //!   replication factor for the five Table 1 workloads, both stores.
 //! * [`consistency`] — Fig. 3: runtime vs target throughput under ONE /
 //!   QUORUM / write-ALL, Cassandra analog at RF=3.
+//! * [`failure`] — Fig. 4: the failure timeline — a declarative fault
+//!   plan crashes a node mid-run and per-window metrics trace the
+//!   throughput dip, error spike, and recovery for every (store, RF,
+//!   consistency) combination.
 //! * [`ablation`] — beyond-paper experiments: read repair on/off,
 //!   commit-log durability modes, node failure/failover.
 //! * [`sla`] — the paper's §6 future work: SLA-based stress specification
@@ -34,6 +38,7 @@
 pub mod ablation;
 pub mod consistency;
 pub mod driver;
+pub mod failure;
 pub mod micro;
 pub mod report;
 pub mod setup;
@@ -43,6 +48,7 @@ pub mod stress;
 pub mod sweep;
 
 pub use driver::{DriverConfig, RunOutcome};
+pub use failure::{FailureConfig, FailureResult};
 pub use report::{AsciiChart, Table};
 pub use setup::{build_cstore, build_hstore, Scale, StoreKind};
 pub use store::{DriverEvent, SimStore};

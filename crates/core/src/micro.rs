@@ -180,6 +180,8 @@ fn micro_driver_cfg(cfg: &MicroConfig, op: OpKind, seed: u64) -> DriverConfig {
         warmup_ops: cfg.warmup_ops,
         measure_ops: cfg.measure_ops,
         seed,
+        faults: Default::default(),
+        timeline_window_us: 0,
     }
 }
 

@@ -181,6 +181,21 @@ pub fn build_hstore(scale: &Scale, rf: u32) -> hstore::Cluster {
     hstore::Cluster::new(cfg, 0xB0A7 ^ u64::from(rf))
 }
 
+/// Build an HBase-analog cluster with a configuration hook applied before
+/// construction (failure experiments: RPC timeout, failover delay…).
+pub fn build_hstore_with(
+    scale: &Scale,
+    rf: u32,
+    tweak: impl FnOnce(&mut HStoreConfig),
+) -> hstore::Cluster {
+    let mut cfg = HStoreConfig::paper_testbed(rf, scale.region_splits());
+    cfg.nodes = scale.nodes;
+    cfg.topology = simkit::Topology::single_rack(scale.nodes, cfg.profile.nic.prop_us);
+    cfg.lsm = scale.lsm();
+    tweak(&mut cfg);
+    hstore::Cluster::new(cfg, 0xB0A7 ^ u64::from(rf))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,6 +11,8 @@
 
 use ycsb::WorkloadSpec;
 
+use faults::FaultTarget;
+
 use crate::driver::{self, DriverConfig};
 use crate::report::{fmt_ops, fmt_us, Table};
 use crate::setup::Scale;
@@ -114,10 +116,10 @@ impl SlaSearchConfig {
 /// Find the highest target throughput that meets the SLA, by bisection over
 /// throttled runs against snapshots of `base` (which must already be
 /// loaded).
-pub fn find_sla_capacity<S: SimStore + Clone + Sync>(
-    base: &S,
-    cfg: &SlaSearchConfig,
-) -> SlaCapacity {
+pub fn find_sla_capacity<S>(base: &S, cfg: &SlaSearchConfig) -> SlaCapacity
+where
+    S: SimStore + FaultTarget<Event = <S as SimStore>::Event> + Clone + Sync,
+{
     find_sla_capacity_with(base, cfg, &Sweep::from_env())
 }
 
@@ -125,11 +127,10 @@ pub fn find_sla_capacity<S: SimStore + Clone + Sync>(
 /// inherently sequential (each midpoint depends on the previous verdict),
 /// so each probe runs as a single engine cell: one snapshot clone, one
 /// deterministic driver run.
-pub fn find_sla_capacity_with<S: SimStore + Clone + Sync>(
-    base: &S,
-    cfg: &SlaSearchConfig,
-    sweep: &Sweep,
-) -> SlaCapacity {
+pub fn find_sla_capacity_with<S>(base: &S, cfg: &SlaSearchConfig, sweep: &Sweep) -> SlaCapacity
+where
+    S: SimStore + FaultTarget<Event = <S as SimStore>::Event> + Clone + Sync,
+{
     let mut probes = Vec::new();
     let probe = |target: f64| -> (u64, bool) {
         sweep
@@ -144,6 +145,8 @@ pub fn find_sla_capacity_with<S: SimStore + Clone + Sync>(
                     warmup_ops: cfg.warmup_ops,
                     measure_ops: cfg.measure_ops,
                     seed: ctx.seed,
+                    faults: Default::default(),
+                    timeline_window_us: 0,
                 };
                 let out = driver::run(&mut snapshot, &dcfg);
                 let q = out.metrics.overall().quantile(cfg.sla.percentile);

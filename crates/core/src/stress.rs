@@ -206,7 +206,7 @@ impl StressResult {
 
 /// Probe every target against snapshots of one loaded base and keep the
 /// peak.
-fn run_cell<S: SimStore + Clone>(
+fn run_cell<S: SimStore + faults::FaultTarget<Event = <S as SimStore>::Event> + Clone>(
     base: &S,
     store: StoreKind,
     rf: u32,
@@ -226,6 +226,8 @@ fn run_cell<S: SimStore + Clone>(
             warmup_ops: cfg.warmup_ops,
             measure_ops: cfg.measure_ops,
             seed,
+            faults: Default::default(),
+            timeline_window_us: 0,
         };
         let out = driver::run(&mut snapshot, &dcfg);
         if best.as_ref().is_none_or(|(t, _)| out.throughput > *t) {

@@ -20,9 +20,6 @@ use crate::metrics::Metrics;
 use crate::node::{CNode, Hint};
 use crate::ring::Ring;
 
-/// Default RPC give-up interval (virtual time).
-const RPC_TIMEOUT_US: u64 = 2_000_000;
-
 #[derive(Debug, Clone)]
 struct Pending {
     op: StoreOp,
@@ -362,7 +359,7 @@ impl Cluster {
         );
         sim.schedule_at(rx_done, W::from(Event::Arrive { op: token }));
         sim.schedule_at(
-            rx_done + RPC_TIMEOUT_US,
+            rx_done + self.config.rpc_timeout_us,
             W::from(Event::Timeout { op: token }),
         );
     }
@@ -1142,6 +1139,41 @@ impl Cluster {
             }
         }
         self.nodes[node.index()].hints = kept;
+    }
+}
+
+/// The uniform fault surface: crash/recover map onto the cluster's own
+/// failure entry points (so hinted-handoff replay still triggers on
+/// recovery), degradation faults act directly on the node's hardware.
+impl faults::FaultTarget for Cluster {
+    type Event = Event;
+
+    fn fault_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn apply_crash<W: From<Event>>(&mut self, _sim: &mut Sim<W>, node: NodeId) {
+        self.fail_node(node);
+    }
+
+    fn apply_recover<W: From<Event>>(&mut self, sim: &mut Sim<W>, node: NodeId) {
+        self.recover_node(sim, node);
+    }
+
+    fn apply_slow_disk(&mut self, node: NodeId, factor: u32) {
+        self.nodes[node.index()].hw.degrade_disk(factor);
+    }
+
+    fn apply_restore_disk(&mut self, node: NodeId) {
+        self.nodes[node.index()].hw.restore_disk();
+    }
+
+    fn apply_net_delay(&mut self, node: NodeId, extra_us: u64) {
+        self.nodes[node.index()].hw.delay_net(extra_us);
+    }
+
+    fn apply_restore_net(&mut self, node: NodeId) {
+        self.nodes[node.index()].hw.restore_net();
     }
 }
 

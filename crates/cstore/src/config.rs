@@ -131,6 +131,11 @@ pub struct CStoreConfig {
     /// Duration of each pause. With the default 50 ms every ~1 s a node is
     /// unresponsive ~5% of the time — a CMS-era heap under write churn.
     pub pause_duration_us: u64,
+    /// Coordinator give-up interval, microseconds: an operation still
+    /// incomplete this long after submission fails with a timeout error
+    /// (Cassandra's `rpc_timeout_in_ms`; fault experiments shorten it so
+    /// timeout behaviour is visible within one timeline window).
+    pub rpc_timeout_us: u64,
     /// Per-node storage-engine tuning.
     pub lsm: LsmConfig,
     /// Key partitioning scheme.
@@ -161,6 +166,7 @@ impl CStoreConfig {
             // time jitter. Enable for the pause ablation.
             pause_interval_us: 0,
             pause_duration_us: 50_000,
+            rpc_timeout_us: 2_000_000,
             lsm: LsmConfig::default(),
             partitioner,
             profile,
@@ -224,5 +230,6 @@ mod tests {
         assert_eq!(c.read_cl, Consistency::One);
         assert_eq!(c.topology.len(), 15);
         assert!((c.read_repair_chance - 0.1).abs() < 1e-12);
+        assert_eq!(c.rpc_timeout_us, 2_000_000, "era default rpc timeout: 2 s");
     }
 }

@@ -21,9 +21,6 @@ use crate::master::Master;
 use crate::metrics::Metrics;
 use crate::region::RegionMap;
 
-/// Default RPC give-up interval (virtual time).
-const RPC_TIMEOUT_US: u64 = 2_000_000;
-
 #[derive(Debug, Clone)]
 struct WalState {
     file: dfs::FileId,
@@ -392,7 +389,10 @@ impl Cluster {
             },
         );
         sim.schedule_at(rx, W::from(Event::Arrive { op: token }));
-        sim.schedule_at(rx + RPC_TIMEOUT_US, W::from(Event::Timeout { op: token }));
+        sim.schedule_at(
+            rx + self.config.rpc_timeout_us,
+            W::from(Event::Timeout { op: token }),
+        );
     }
 
     /// Dispatch one internal event.
@@ -408,6 +408,7 @@ impl Cluster {
             Event::Timeout { op } => self.on_timeout(sim, op),
             Event::BgIo { server } => self.on_bg_io(sim, server),
             Event::GcPause { server } => self.on_gc_pause(sim, server),
+            Event::FailOver { server } => self.on_fail_over(server),
         }
     }
 
@@ -810,11 +811,34 @@ impl Cluster {
 
     // ----- failure handling -----
 
-    /// Crash a region server: its regions fail over to the survivors, each
-    /// paying WAL-replay time and restarting with a cold cache; its HDFS
-    /// blocks re-replicate in the background.
+    /// Crash a region server: its regions fail over to the survivors
+    /// immediately (no detection delay), each paying WAL-replay time and
+    /// restarting with a cold cache; its HDFS blocks re-replicate in the
+    /// background. Equivalent to [`Cluster::crash_server`] followed by the
+    /// master's failover.
     pub fn fail_server(&mut self, node: NodeId) {
+        self.crash_server(node);
+        self.fail_over_from(node);
+    }
+
+    /// Crash a region server *without* failover: requests to its regions
+    /// fail until the master notices (an `Event::FailOver`) or the server
+    /// recovers. Used by deferred crash injection.
+    pub fn crash_server(&mut self, node: NodeId) {
         self.servers[node.index()].fail();
+    }
+
+    /// The master detects the crash: a no-op when the server is back up.
+    fn on_fail_over(&mut self, server: NodeId) {
+        if self.is_up(server) {
+            return;
+        }
+        self.fail_over_from(server);
+    }
+
+    /// Move the dead server's regions to the survivors and start HDFS
+    /// re-replication.
+    fn fail_over_from(&mut self, node: NodeId) {
         self.fs.fail_node(node);
         let live: Vec<NodeId> = (0..self.servers.len() as u32)
             .map(NodeId)
@@ -845,6 +869,50 @@ impl Cluster {
     pub fn recover_server(&mut self, node: NodeId) {
         self.servers[node.index()].recover();
         self.fs.recover_node(node);
+    }
+}
+
+/// The uniform fault surface. A crash honours `failover_delay_us`: with a
+/// nonzero delay the server drops dead now and the master's failover runs
+/// as a scheduled `Event::FailOver` — requests to its regions fail until
+/// then, which is the availability gap fig4 measures.
+impl faults::FaultTarget for Cluster {
+    type Event = Event;
+
+    fn fault_nodes(&self) -> usize {
+        self.servers.len()
+    }
+
+    fn apply_crash<W: From<Event>>(&mut self, sim: &mut Sim<W>, node: NodeId) {
+        if self.config.failover_delay_us == 0 {
+            self.fail_server(node);
+        } else {
+            self.crash_server(node);
+            sim.schedule_in(
+                self.config.failover_delay_us,
+                W::from(Event::FailOver { server: node }),
+            );
+        }
+    }
+
+    fn apply_recover<W: From<Event>>(&mut self, _sim: &mut Sim<W>, node: NodeId) {
+        self.recover_server(node);
+    }
+
+    fn apply_slow_disk(&mut self, node: NodeId, factor: u32) {
+        self.servers[node.index()].degrade_disk(factor);
+    }
+
+    fn apply_restore_disk(&mut self, node: NodeId) {
+        self.servers[node.index()].restore_disk();
+    }
+
+    fn apply_net_delay(&mut self, node: NodeId, extra_us: u64) {
+        self.servers[node.index()].delay_net(extra_us);
+    }
+
+    fn apply_restore_net(&mut self, node: NodeId) {
+        self.servers[node.index()].restore_net();
     }
 }
 

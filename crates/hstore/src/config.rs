@@ -71,6 +71,17 @@ pub struct HStoreConfig {
     pub pause_interval_us: u64,
     /// Duration of each pause.
     pub pause_duration_us: u64,
+    /// Client give-up interval, microseconds: an operation still incomplete
+    /// this long after submission fails with a `ServerDown` error (fault
+    /// experiments shorten it so timeout behaviour is visible within one
+    /// timeline window).
+    pub rpc_timeout_us: u64,
+    /// Crash-detection delay, microseconds: how long after a server crash
+    /// the master notices (ZooKeeper session expiry) and starts region
+    /// failover. During this window requests to the dead server's regions
+    /// fail immediately. `0` makes failover synchronous with the crash —
+    /// the pre-existing `fail_server` behaviour.
+    pub failover_delay_us: u64,
 }
 
 impl HStoreConfig {
@@ -90,6 +101,8 @@ impl HStoreConfig {
             bg_io_rate: 16_000_000,
             pause_interval_us: 0,
             pause_duration_us: 50_000,
+            rpc_timeout_us: 2_000_000,
+            failover_delay_us: 0,
         }
     }
 }
@@ -106,5 +119,7 @@ mod tests {
         assert_eq!(c.replication_factor, 3);
         assert_eq!(c.topology.len(), 15);
         assert_eq!(c.costs.server_us, 700);
+        assert_eq!(c.rpc_timeout_us, 2_000_000);
+        assert_eq!(c.failover_delay_us, 0, "failover is synchronous by default");
     }
 }

@@ -50,4 +50,11 @@ pub enum Event {
         /// The pausing server.
         server: NodeId,
     },
+    /// The master detects a crashed server (ZooKeeper session expiry) and
+    /// starts region failover. Scheduled by deferred crash injection; a
+    /// no-op if the server already recovered.
+    FailOver {
+        /// The server whose crash was detected.
+        server: NodeId,
+    },
 }

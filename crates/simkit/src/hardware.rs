@@ -47,6 +47,7 @@ pub struct Disk {
     queue: FifoResource,
     read_bytes: u64,
     written_bytes: u64,
+    degrade: u32,
 }
 
 impl Disk {
@@ -57,6 +58,7 @@ impl Disk {
             queue: FifoResource::new(),
             read_bytes: 0,
             written_bytes: 0,
+            degrade: 1,
         }
     }
 
@@ -65,41 +67,55 @@ impl Disk {
         self.profile
     }
 
+    #[inline]
+    fn service(&mut self, now: SimTime, duration: u64) -> SimTime {
+        self.queue.acquire(now, duration * u64::from(self.degrade))
+    }
+
     /// Random read of `bytes` (one positioning cost plus transfer).
     pub fn random_read(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.read_bytes += bytes;
-        self.queue.acquire(
-            now,
-            self.profile.seek_us + transfer_time(bytes, self.profile.read_bw),
-        )
+        let d = self.profile.seek_us + transfer_time(bytes, self.profile.read_bw);
+        self.service(now, d)
     }
 
     /// Sequential read of `bytes` (transfer only; head already positioned).
     pub fn seq_read(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.read_bytes += bytes;
-        self.queue
-            .acquire(now, transfer_time(bytes, self.profile.read_bw))
+        let d = transfer_time(bytes, self.profile.read_bw);
+        self.service(now, d)
     }
 
     /// Random write of `bytes` (positioning plus transfer).
     pub fn random_write(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.written_bytes += bytes;
-        self.queue.acquire(
-            now,
-            self.profile.seek_us + transfer_time(bytes, self.profile.write_bw),
-        )
+        let d = self.profile.seek_us + transfer_time(bytes, self.profile.write_bw);
+        self.service(now, d)
     }
 
     /// Sequential (log-style) write of `bytes`.
     pub fn seq_write(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.written_bytes += bytes;
-        self.queue
-            .acquire(now, transfer_time(bytes, self.profile.write_bw))
+        let d = transfer_time(bytes, self.profile.write_bw);
+        self.service(now, d)
     }
 
     /// An explicit fsync-style barrier: one positioning cost.
     pub fn sync(&mut self, now: SimTime) -> SimTime {
-        self.queue.acquire(now, self.profile.seek_us)
+        let d = self.profile.seek_us;
+        self.service(now, d)
+    }
+
+    /// Multiply every subsequent service time by `factor` (fault injection:
+    /// a transiently slow disk). `1` restores nominal speed; `0` is clamped
+    /// to `1`.
+    pub fn set_degrade(&mut self, factor: u32) {
+        self.degrade = factor.max(1);
+    }
+
+    /// The current service-time multiplier (`1` when healthy).
+    pub fn degrade(&self) -> u32 {
+        self.degrade
     }
 
     /// How long a request arriving now would wait before service begins.
@@ -176,6 +192,7 @@ pub struct Nic {
     rx_busy_us: u64,
     tx_msgs: u64,
     rx_msgs: u64,
+    extra_tx_us: u64,
 }
 
 impl Nic {
@@ -187,6 +204,7 @@ impl Nic {
             rx_busy_us: 0,
             tx_msgs: 0,
             rx_msgs: 0,
+            extra_tx_us: 0,
         }
     }
 
@@ -196,12 +214,25 @@ impl Nic {
     }
 
     /// Serialize `bytes` onto the wire starting at `now`; returns the instant
-    /// the last byte leaves this host.
+    /// the last byte leaves this host (including any injected egress delay).
     pub fn tx(&mut self, now: SimTime, bytes: u64) -> SimTime {
         let t = transfer_time(bytes, self.profile.bw);
         self.tx_busy_us += t;
         self.tx_msgs += 1;
-        now + t
+        now + t + self.extra_tx_us
+    }
+
+    /// Add a fixed delay to every subsequent transmitted message (fault
+    /// injection: a transiently congested or flaky uplink). `0` restores
+    /// nominal latency. The delay models queueing ahead of the NIC, so it
+    /// does not count toward bandwidth utilization.
+    pub fn set_extra_delay(&mut self, extra_us: u64) {
+        self.extra_tx_us = extra_us;
+    }
+
+    /// The current injected egress delay (`0` when healthy).
+    pub fn extra_delay(&self) -> u64 {
+        self.extra_tx_us
     }
 
     /// Account for receiving `bytes` whose first bit arrives at `at`; returns
@@ -323,6 +354,27 @@ impl NodeHw {
         self.up = true;
     }
 
+    /// Enter a degraded-disk window: service times multiply by `factor`.
+    pub fn degrade_disk(&mut self, factor: u32) {
+        self.disk.set_degrade(factor);
+    }
+
+    /// End a degraded-disk window.
+    pub fn restore_disk(&mut self) {
+        self.disk.set_degrade(1);
+    }
+
+    /// Enter a network-delay window: every transmitted message pays an
+    /// extra `extra_us`.
+    pub fn delay_net(&mut self, extra_us: u64) {
+        self.nic.set_extra_delay(extra_us);
+    }
+
+    /// End a network-delay window.
+    pub fn restore_net(&mut self) {
+        self.nic.set_extra_delay(0);
+    }
+
     /// Reset all resource accounting counters.
     pub fn reset_stats(&mut self) {
         self.cpu.reset_stats();
@@ -420,6 +472,45 @@ mod tests {
     fn sync_costs_one_positioning() {
         let mut d = Disk::new(DiskProfile::sata_7200rpm());
         assert_eq!(d.sync(0), 8_000);
+    }
+
+    #[test]
+    fn degraded_disk_multiplies_service_times() {
+        let mut d = Disk::new(DiskProfile::sata_7200rpm());
+        d.set_degrade(4);
+        assert_eq!(d.random_read(0, 64 * 1024), 4 * (8_000 + 547));
+        d.set_degrade(1);
+        // Healthy again: next request only queues behind the slow one.
+        let healthy = Disk::new(DiskProfile::sata_7200rpm()).sync(0) + 4 * (8_000 + 547);
+        assert_eq!(d.sync(0), healthy);
+        // Factor 0 is clamped to 1, never a free disk.
+        d.set_degrade(0);
+        assert_eq!(d.degrade(), 1);
+    }
+
+    #[test]
+    fn nic_extra_delay_shifts_tx_only() {
+        let mut n = Nic::new(NicProfile::gige());
+        n.set_extra_delay(500);
+        assert_eq!(n.tx(0, 1024), 509);
+        assert_eq!(n.rx(0, 1024), 9, "rx is not delayed");
+        n.set_extra_delay(0);
+        assert_eq!(n.tx(0, 1024), 9);
+        // Delay models queueing ahead of the NIC: utilization unchanged.
+        assert!((n.tx_utilization(18) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_hw_fault_helpers_round_trip() {
+        let mut node = NodeHw::new(NodeProfile::paper_testbed());
+        node.degrade_disk(8);
+        node.delay_net(250);
+        assert_eq!(node.disk.degrade(), 8);
+        assert_eq!(node.nic.extra_delay(), 250);
+        node.restore_disk();
+        node.restore_net();
+        assert_eq!(node.disk.degrade(), 1);
+        assert_eq!(node.nic.extra_delay(), 0);
     }
 
     #[test]

@@ -146,11 +146,123 @@ impl Histogram {
     }
 }
 
+/// Per-window latency and error accounting inside a [`Timeline`].
+#[derive(Debug, Clone, Default)]
+struct WindowStats {
+    hist: Option<Histogram>,
+    errors: u64,
+}
+
+/// One materialized timeline window, ready for tables and CSV rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineWindow {
+    /// Window start, virtual microseconds from run start.
+    pub start_us: u64,
+    /// Window end (exclusive).
+    pub end_us: u64,
+    /// Successful operations completed inside the window.
+    pub ops: u64,
+    /// Successful-operation rate over the window.
+    pub ops_per_sec: f64,
+    /// Mean latency of the window's operations (µs; 0 when empty).
+    pub mean_us: f64,
+    /// 95th-percentile latency (µs; 0 when empty).
+    pub p95_us: u64,
+    /// 99th-percentile latency (µs; 0 when empty).
+    pub p99_us: u64,
+    /// Failed operations inside the window.
+    pub errors: u64,
+}
+
+/// Time-bucketed metrics: completions fall into fixed-width windows of
+/// virtual time, each keeping its own latency histogram and error count,
+/// so degradation and recovery around a fault are observable as a curve
+/// rather than one end-of-run aggregate.
+///
+/// Windows are keyed by `completion_time / window_us`; a completion exactly
+/// on a boundary belongs to the *later* window. Gaps (windows where nothing
+/// completed — e.g. a total outage) materialize as empty windows in
+/// [`Timeline::windows`], which is precisely the dip a failure experiment
+/// wants to see.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    window_us: u64,
+    windows: BTreeMap<u64, WindowStats>,
+}
+
+impl Timeline {
+    /// An empty timeline with the given window width (must be nonzero).
+    pub fn new(window_us: u64) -> Self {
+        assert!(window_us > 0, "timeline window width must be nonzero");
+        Self {
+            window_us,
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// The window width, microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Record one successful completion at virtual time `at`.
+    pub fn record(&mut self, at: u64, latency_us: u64) {
+        self.windows
+            .entry(at / self.window_us)
+            .or_default()
+            .hist
+            .get_or_insert_with(Histogram::new)
+            .record(latency_us);
+    }
+
+    /// Record one failed completion at virtual time `at`.
+    pub fn record_error(&mut self, at: u64) {
+        self.windows.entry(at / self.window_us).or_default().errors += 1;
+    }
+
+    /// Materialize every window from the first recorded one through the
+    /// last, including interior gaps as zero-op windows.
+    pub fn windows(&self) -> Vec<TimelineWindow> {
+        let (Some((&first, _)), Some((&last, _))) = (
+            self.windows.first_key_value(),
+            self.windows.last_key_value(),
+        ) else {
+            return Vec::new();
+        };
+        let empty = WindowStats::default();
+        (first..=last)
+            .map(|idx| {
+                let w = self.windows.get(&idx).unwrap_or(&empty);
+                let (ops, mean_us, p95_us, p99_us) = match &w.hist {
+                    Some(h) => (h.count(), h.mean(), h.p95(), h.p99()),
+                    None => (0, 0.0, 0, 0),
+                };
+                TimelineWindow {
+                    start_us: idx * self.window_us,
+                    end_us: (idx + 1) * self.window_us,
+                    ops,
+                    ops_per_sec: ops as f64 * 1_000_000.0 / self.window_us as f64,
+                    mean_us,
+                    p95_us,
+                    p99_us,
+                    errors: w.errors,
+                }
+            })
+            .collect()
+    }
+}
+
 /// Aggregated metrics for one benchmark run.
 #[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
     per_op: BTreeMap<OpKind, Histogram>,
     all: Option<Histogram>,
+    timeline: Option<Timeline>,
     started_at: u64,
     finished_at: u64,
     errors: u64,
@@ -186,6 +298,37 @@ impl RunMetrics {
         if stale {
             self.stale_reads += 1;
         }
+    }
+
+    /// Turn on time-bucketed collection with the given window width.
+    /// Without this call the timeline hooks below are free no-ops, keeping
+    /// aggregate-only runs untouched.
+    pub fn enable_timeline(&mut self, window_us: u64) {
+        self.timeline = Some(Timeline::new(window_us));
+    }
+
+    /// Note one successful completion at virtual time `at` for the
+    /// timeline; a no-op unless [`RunMetrics::enable_timeline`] was called.
+    /// Separate from [`RunMetrics::record`] because the timeline spans the
+    /// whole run (warm-up included) while aggregates cover only the
+    /// measured window.
+    pub fn note_timeline(&mut self, at: u64, latency_us: u64) {
+        if let Some(t) = &mut self.timeline {
+            t.record(at, latency_us);
+        }
+    }
+
+    /// Note one failed completion at virtual time `at` for the timeline; a
+    /// no-op unless the timeline is enabled.
+    pub fn note_timeline_error(&mut self, at: u64) {
+        if let Some(t) = &mut self.timeline {
+            t.record_error(at);
+        }
+    }
+
+    /// The timeline, when enabled.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_ref()
     }
 
     /// Set the measured interval boundaries (virtual microseconds).
@@ -345,5 +488,84 @@ mod tests {
         m.record(OpKind::Read, 1);
         m.set_window(5, 5);
         assert_eq!(m.throughput(), 0.0);
+    }
+
+    #[test]
+    fn timeline_empty_window_gap_materializes_as_zeros() {
+        let mut t = Timeline::new(1_000);
+        t.record(500, 10); // window 0
+        t.record(2_500, 30); // window 2; window 1 is a gap
+        let w = t.windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[1].start_us, 1_000);
+        assert_eq!(w[1].ops, 0);
+        assert_eq!(w[1].ops_per_sec, 0.0);
+        assert_eq!(w[1].mean_us, 0.0);
+        assert_eq!(w[1].p95_us, 0);
+        assert_eq!(w[1].p99_us, 0);
+        assert_eq!(w[1].errors, 0);
+    }
+
+    #[test]
+    fn timeline_single_op_window_percentiles_equal_the_op() {
+        let mut t = Timeline::new(1_000);
+        t.record(100, 42);
+        let w = t.windows();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].ops, 1);
+        assert!((w[0].mean_us - 42.0).abs() < 1e-9);
+        // One op below the linear bucket limit: every quantile is exact.
+        assert_eq!(w[0].p95_us, 42);
+        assert_eq!(w[0].p99_us, 42);
+        assert!((w[0].ops_per_sec - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_boundary_completion_lands_in_later_window() {
+        let mut t = Timeline::new(1_000);
+        t.record(999, 1);
+        t.record(1_000, 2); // exactly on the boundary
+        let w = t.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].ops, 1);
+        assert_eq!(w[1].ops, 1);
+        assert_eq!(w[1].start_us, 1_000);
+    }
+
+    #[test]
+    fn timeline_errors_bucket_separately_from_ops() {
+        let mut t = Timeline::new(100);
+        t.record_error(50);
+        t.record_error(250);
+        t.record(250, 5);
+        let w = t.windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!((w[0].ops, w[0].errors), (0, 1));
+        assert_eq!((w[2].ops, w[2].errors), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn timeline_rejects_zero_width_windows() {
+        let _ = Timeline::new(0);
+    }
+
+    #[test]
+    fn run_metrics_timeline_hooks_are_noops_until_enabled() {
+        let mut m = RunMetrics::new();
+        m.note_timeline(100, 5);
+        m.note_timeline_error(100);
+        assert!(m.timeline().is_none());
+        m.enable_timeline(1_000);
+        m.note_timeline(100, 5);
+        m.note_timeline_error(2_100);
+        let t = m.timeline().expect("enabled");
+        let w = t.windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].ops, 1);
+        assert_eq!(w[2].errors, 1);
+        // Timeline recording is independent of the aggregate counters.
+        assert_eq!(m.ops(), 0);
+        assert_eq!(m.errors(), 0);
     }
 }

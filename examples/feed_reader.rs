@@ -10,9 +10,13 @@ use cloudserve::bench_core::driver::{self, DriverConfig};
 use cloudserve::bench_core::setup::{build_cstore, build_hstore, Scale};
 use cloudserve::bench_core::SimStore;
 use cloudserve::cstore::Consistency;
+use cloudserve::faults::FaultTarget;
 use cloudserve::ycsb::WorkloadSpec;
 
-fn run_one<S: SimStore>(store: &mut S, scale: &Scale) -> (f64, f64) {
+fn run_one<S: SimStore + FaultTarget<Event = <S as SimStore>::Event>>(
+    store: &mut S,
+    scale: &Scale,
+) -> (f64, f64) {
     driver::load(store, scale.records, scale.value_len, 23);
     let cfg = DriverConfig {
         threads: 16,

@@ -12,6 +12,8 @@
 //! * [`dfs`] — the replicated block filesystem (HDFS analog).
 //! * [`hstore`] — the HBase analog.
 //! * [`cstore`] — the Cassandra analog.
+//! * [`faults`] — the deterministic fault-injection subsystem (declarative
+//!   crash/recover/degradation plans the driver replays in virtual time).
 //! * [`ycsb`] — the YCSB-analog workload generator and client.
 //! * [`bench_core`] — the paper's benchmark methodology (micro/stress/
 //!   consistency experiments, sweeps, report rendering).
@@ -24,6 +26,7 @@
 pub use bench_core;
 pub use cstore;
 pub use dfs;
+pub use faults;
 pub use hstore;
 pub use simkit;
 pub use storage;

@@ -1,0 +1,111 @@
+//! Integration tests for the fault-injection subsystem: identical
+//! (plan, seed) pairs reproduce bit-identical timelines, inert plans
+//! leave a run untouched, and randomized plans are seed-deterministic.
+
+use cloudserve::bench_core::driver::{self, DriverConfig, RunOutcome};
+use cloudserve::bench_core::setup::{build_cstore, build_hstore, Scale};
+use cloudserve::cstore::Consistency;
+use cloudserve::faults::FaultPlan;
+use cloudserve::simkit::NodeId;
+use cloudserve::ycsb::WorkloadSpec;
+
+fn faulted_cfg(scale: &Scale, plan: FaultPlan, window_us: u64) -> DriverConfig {
+    DriverConfig {
+        threads: 8,
+        target_ops_per_sec: 1_500.0,
+        warmup_ops: 200,
+        measure_ops: 2_000,
+        value_len: scale.value_len,
+        faults: plan,
+        timeline_window_us: window_us,
+        ..DriverConfig::new(WorkloadSpec::read_update(), scale.records)
+    }
+}
+
+fn run_hstore(plan: FaultPlan, window_us: u64) -> RunOutcome {
+    let scale = Scale::tiny();
+    let mut s = build_hstore(&scale, 3);
+    driver::load(&mut s, scale.records, scale.value_len, 7);
+    driver::run(&mut s, &faulted_cfg(&scale, plan, window_us))
+}
+
+fn run_cstore(plan: FaultPlan, window_us: u64) -> RunOutcome {
+    let scale = Scale::tiny();
+    let mut s = build_cstore(&scale, 3, Consistency::One, Consistency::One);
+    driver::load(&mut s, scale.records, scale.value_len, 7);
+    driver::run(&mut s, &faulted_cfg(&scale, plan, window_us))
+}
+
+#[test]
+fn identical_plan_and_seed_give_bit_identical_timelines() {
+    let plan = FaultPlan::new().crash_window(NodeId(0), 400_000, 900_000);
+    for runner in [run_hstore, run_cstore] {
+        let a = runner(plan.clone(), 100_000);
+        let b = runner(plan.clone(), 100_000);
+        assert_eq!(a.throughput, b.throughput);
+        assert_eq!(a.errors, b.errors);
+        assert_eq!(a.faults_injected, 2);
+        assert_eq!(b.faults_injected, 2);
+        let wa = a.metrics.timeline().expect("timeline enabled").windows();
+        let wb = b.metrics.timeline().expect("timeline enabled").windows();
+        assert!(!wa.is_empty());
+        assert_eq!(wa, wb);
+    }
+}
+
+#[test]
+fn inert_plans_leave_the_run_untouched() {
+    let empty = run_cstore(FaultPlan::new(), 100_000);
+    assert_eq!(empty.faults_injected, 0);
+    // A crash scheduled far beyond the run's horizon never fires inside
+    // the measured window; a crash aimed at a node index the cluster does
+    // not have is skipped by the injector. Both must reproduce the empty
+    // plan's run exactly.
+    let beyond = run_cstore(
+        FaultPlan::new().crash_at(NodeId(0), 60_000_000_000),
+        100_000,
+    );
+    let out_of_range = run_cstore(
+        FaultPlan::new().crash_window(NodeId(99), 100_000, 200_000),
+        100_000,
+    );
+    assert_eq!(out_of_range.faults_injected, 0);
+    for other in [&beyond, &out_of_range] {
+        assert_eq!(other.throughput, empty.throughput);
+        assert_eq!(other.errors, empty.errors);
+        assert_eq!(other.mean_latency_us, empty.mean_latency_us);
+        assert_eq!(
+            other
+                .metrics
+                .timeline()
+                .expect("timeline enabled")
+                .windows(),
+            empty
+                .metrics
+                .timeline()
+                .expect("timeline enabled")
+                .windows(),
+        );
+    }
+}
+
+#[test]
+fn timeline_recording_does_not_perturb_the_run() {
+    let plan = FaultPlan::new().crash_window(NodeId(0), 400_000, 900_000);
+    let with_timeline = run_hstore(plan.clone(), 100_000);
+    let without = run_hstore(plan, 0);
+    assert!(without.metrics.timeline().is_none());
+    assert_eq!(with_timeline.throughput, without.throughput);
+    assert_eq!(with_timeline.errors, without.errors);
+    assert_eq!(with_timeline.mean_latency_us, without.mean_latency_us);
+}
+
+#[test]
+fn randomized_plans_are_seed_deterministic() {
+    let a = FaultPlan::randomized(1234, 5, 2_000_000);
+    let b = FaultPlan::randomized(1234, 5, 2_000_000);
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+    let c = FaultPlan::randomized(1235, 5, 2_000_000);
+    assert_ne!(a, c, "different seeds should draw different plans");
+}
