@@ -4,6 +4,7 @@
 //! artifacts; useful when retuning `Scale` or `ServiceCosts`.
 
 use bench_core::driver::{self, DriverConfig};
+use bench_core::resilience::RetryPolicy;
 use bench_core::setup::{build_cstore, build_hstore, Scale};
 use cstore::Consistency;
 use simkit::NodeId;
@@ -31,6 +32,7 @@ fn main() {
         seed: 42,
         faults: Default::default(),
         timeline_window_us: 0,
+        retry: RetryPolicy::none(),
     };
 
     {
@@ -98,6 +100,7 @@ fn consistency_probe() {
             seed: 42,
             faults: Default::default(),
             timeline_window_us: 0,
+            retry: RetryPolicy::none(),
         };
         let out = driver::run(&mut c, &dcfg);
         let (hits, misses) = (0..c.len()).fold((0u64, 0u64), |(h, m), i| {

@@ -1,0 +1,41 @@
+//! Regenerates Fig. 5: availability under failure with a resilient client.
+//!
+//! The Fig. 4 crash/recover plan rerun at RF=3 for every consistency level
+//! under three client policies — `none` (fair-weather), `retry` (bounded
+//! attempts, jittered exponential backoff, deadline budget), and
+//! `retry+hedge` (plus speculative second reads). Prints the phase-summary
+//! table (goodput split into first-try and retried, error counts, and the
+//! attempts-per-op cost) and writes the per-window timeline to
+//! `results/fig5_availability.csv`.
+
+use bench_core::availability::{run_availability, AvailabilityConfig};
+
+fn main() {
+    let cfg = if bench::quick_requested() {
+        AvailabilityConfig::quick()
+    } else {
+        AvailabilityConfig::default()
+    };
+    eprintln!(
+        "fig5: {} records, rf {}, {} threads, target {} ops/s, crash {:.1}s..{:.1}s, retry {} attempts / {}us base / {}us budget, hedge {}us",
+        cfg.scale.records,
+        cfg.rf,
+        cfg.threads,
+        cfg.target_ops_per_sec,
+        cfg.crash_at_us as f64 / 1e6,
+        cfg.recover_at_us as f64 / 1e6,
+        cfg.retry.max_attempts,
+        cfg.retry.base_backoff_us,
+        cfg.retry.deadline_us,
+        cfg.hedge_after_us,
+    );
+    let started = std::time::Instant::now();
+    let result = run_availability(&cfg);
+    eprintln!("fig5: done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!("fig5: {}", result.telemetry.summary());
+
+    println!("{}", result.render());
+    let path = bench::results_dir().join("fig5_availability.csv");
+    result.table().write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

@@ -10,6 +10,9 @@
 //!   ONE / QUORUM / write-ALL, Cassandra analog, RF=3).
 //! * `fig4` — failure timeline (throughput dip, error spike, and recovery
 //!   around a crash/recover fault, both stores × RF × consistency).
+//! * `fig5` — availability under failure with a resilient client (the
+//!   Fig. 4 crash under `none` / `retry` / `retry+hedge` policies:
+//!   goodput split, client-visible errors, attempts-per-op cost).
 //! * `ablations` — beyond-paper ablations (read repair, commit-log
 //!   durability, failover phases).
 //!

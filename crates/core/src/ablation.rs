@@ -17,6 +17,7 @@ use ycsb::WorkloadSpec;
 
 use crate::driver::{self, DriverConfig};
 use crate::report::{fmt_ops, fmt_us, Table};
+use crate::resilience::RetryPolicy;
 use crate::setup::{build_cstore_with, build_hstore, Scale, StoreKind};
 use crate::store::SimStore;
 use crate::sweep::Sweep;
@@ -72,6 +73,7 @@ impl AblationConfig {
             seed: self.seed,
             faults: Default::default(),
             timeline_window_us: 0,
+            retry: RetryPolicy::none(),
         }
     }
 }

@@ -12,6 +12,7 @@ use ycsb::WorkloadSpec;
 
 use crate::driver::{self, DriverConfig};
 use crate::report::{fmt_ops, Table};
+use crate::resilience::RetryPolicy;
 use crate::setup::{build_cstore, Scale};
 use crate::sweep::{BasePool, Sweep, Telemetry};
 
@@ -288,6 +289,7 @@ pub fn run_consistency_with(cfg: &ConsistencyConfig, sweep: &Sweep) -> Consisten
             seed: ctx.seed,
             faults: Default::default(),
             timeline_window_us: 0,
+            retry: RetryPolicy::none(),
         };
         let run = driver::run(&mut snapshot, &dcfg);
         let repair_writes = run

@@ -16,6 +16,7 @@ use simkit::{Sim, SimTime};
 use storage::{Key, OpKind, OpResult, StoreOp};
 use ycsb::{encode_key, KeySpace, RunMetrics, StalenessTracker, Throttle, ValuePool, WorkloadSpec};
 
+use crate::resilience::{GiveUpReason, RetryDecision, RetryPolicy};
 use crate::store::{DriverEvent, SimStore};
 
 /// Configuration of one benchmark run.
@@ -44,6 +45,11 @@ pub struct DriverConfig {
     /// Timeline window width (virtual µs) for time-bucketed metrics; `0`
     /// (the default) disables timeline collection entirely.
     pub timeline_window_us: u64,
+    /// The client-resilience policy: retries, backoff, deadline budget,
+    /// hedged reads. [`RetryPolicy::none`] (the default) schedules no
+    /// extra events and draws no randomness, leaving the run bit-identical
+    /// to a driver without the resilience layer.
+    pub retry: RetryPolicy,
 }
 
 impl DriverConfig {
@@ -60,6 +66,7 @@ impl DriverConfig {
             seed: 42,
             faults: FaultPlan::new(),
             timeline_window_us: 0,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -81,6 +88,11 @@ pub struct RunOutcome {
     pub sim_duration_us: u64,
     /// Fault-plan events actually applied before the run finished.
     pub faults_injected: u64,
+    /// Operations still tracked by the client when the run ended. Zero for
+    /// any run that completed its full operation count — every issued op
+    /// must settle exactly once (the no-token-leak invariant of the retry
+    /// and deadline paths). Nonzero only when the run quiesced early.
+    pub unsettled_ops: u64,
     /// Store behaviour counters at the end of the run (cumulative).
     pub counters: Vec<(&'static str, u64)>,
 }
@@ -98,13 +110,33 @@ pub fn load<S: SimStore>(store: &mut S, records: u64, value_len: usize, seed: u6
     store.warm_caches();
 }
 
+/// Client-side state of one *logical* operation, keyed by its first
+/// attempt's token. Retries and hedges submit further attempts whose tokens
+/// map back here; the op settles (records one latency or one error) exactly
+/// once, when an attempt completes and the policy stops.
 struct OpCtx {
     thread: usize,
     kind: OpKind,
     issued: SimTime,
+    /// Absolute give-up time ([`SimTime::MAX`] when unbounded).
+    deadline: SimTime,
+    /// The submitted operation, kept for re-submission by retries/hedges.
+    op: StoreOp,
     key: Key,
     expected_ts: u64,
     rmw_read_phase: bool,
+    /// True once any retry or winning hedge helped this op: its eventual
+    /// success counts as recovered goodput, not first-try goodput.
+    recovered: bool,
+    /// Attempts submitted across all phases (≥ 1).
+    attempts_total: u32,
+    /// Retries spent on the current phase (resets at the RMW write phase).
+    retries: u32,
+    /// Attempts currently outstanding at the store (1, or 2 while hedged).
+    in_flight: u32,
+    hedged: bool,
+    /// The hedge attempt's token, to spot a speculative win at drain.
+    hedge_token: Option<u64>,
 }
 
 /// Run one benchmark against a loaded store. Faults listed in
@@ -126,7 +158,11 @@ where
         .collect();
     let mut tracker = StalenessTracker::new();
     let mut metrics = RunMetrics::new();
+    // Logical ops keyed by their first attempt's token ...
     let mut ctxs: HashMap<u64, OpCtx> = HashMap::new();
+    // ... and every outstanding attempt token mapped back to its op. An
+    // attempt whose op has already settled is a cancelled hedge loser.
+    let mut attempt_of: HashMap<u64, u64> = HashMap::new();
     let mut next_token: u64 = 1;
     let mut issued: u64 = 0;
     let mut completed: u64 = 0;
@@ -161,20 +197,15 @@ where
                 let token = next_token;
                 next_token += 1;
                 let now = sim.now();
-                let (op, ctx) = match kind {
+                let (op, key, expected_ts, rmw) = match kind {
                     OpKind::Read | OpKind::ReadModifyWrite => {
                         let key = encode_key(dist.next(sim.rng()));
                         let expected = tracker.expected(&key);
                         (
                             StoreOp::Read { key: key.clone() },
-                            OpCtx {
-                                thread,
-                                kind,
-                                issued: now,
-                                key,
-                                expected_ts: expected,
-                                rmw_read_phase: kind == OpKind::ReadModifyWrite,
-                            },
+                            key,
+                            expected,
+                            kind == OpKind::ReadModifyWrite,
                         )
                     }
                     OpKind::Update => {
@@ -184,14 +215,9 @@ where
                                 key: key.clone(),
                                 value: pool.next(sim.rng()),
                             },
-                            OpCtx {
-                                thread,
-                                kind,
-                                issued: now,
-                                key,
-                                expected_ts: 0,
-                                rmw_read_phase: false,
-                            },
+                            key,
+                            0,
+                            false,
                         )
                     }
                     OpKind::Insert => {
@@ -202,14 +228,9 @@ where
                                 key: key.clone(),
                                 value: pool.next(sim.rng()),
                             },
-                            OpCtx {
-                                thread,
-                                kind,
-                                issued: now,
-                                key,
-                                expected_ts: 0,
-                                rmw_read_phase: false,
-                            },
+                            key,
+                            0,
+                            false,
                         )
                     }
                     OpKind::Scan => {
@@ -220,33 +241,81 @@ where
                                 start: start.clone(),
                                 limit,
                             },
-                            OpCtx {
-                                thread,
-                                kind,
-                                issued: now,
-                                key: start,
-                                expected_ts: 0,
-                                rmw_read_phase: false,
-                            },
+                            start,
+                            0,
+                            false,
                         )
                     }
                     OpKind::Delete => {
                         let key = encode_key(dist.next(sim.rng()));
-                        (
-                            StoreOp::Delete { key: key.clone() },
-                            OpCtx {
-                                thread,
-                                kind,
-                                issued: now,
-                                key,
-                                expected_ts: 0,
-                                rmw_read_phase: false,
-                            },
-                        )
+                        (StoreOp::Delete { key: key.clone() }, key, 0, false)
                     }
                 };
-                ctxs.insert(token, ctx);
+                ctxs.insert(
+                    token,
+                    OpCtx {
+                        thread,
+                        kind,
+                        issued: now,
+                        deadline: cfg.retry.deadline_at(now),
+                        op: op.clone(),
+                        key,
+                        expected_ts,
+                        rmw_read_phase: rmw,
+                        recovered: false,
+                        attempts_total: 1,
+                        retries: 0,
+                        in_flight: 1,
+                        hedged: false,
+                        hedge_token: None,
+                    },
+                );
+                attempt_of.insert(token, token);
+                metrics.resilience_mut().attempts += 1;
                 store.submit(&mut sim, token, op);
+                // Hedging covers point reads only (including the RMW read
+                // phase); the event is harmless if the op settles first.
+                if cfg.retry.hedges() && matches!(kind, OpKind::Read | OpKind::ReadModifyWrite) {
+                    sim.schedule_in(cfg.retry.hedge_after_us, DriverEvent::Hedge { op: token });
+                }
+            }
+            DriverEvent::Retry { op } => {
+                // Scheduled only while its op is pending with nothing in
+                // flight, so the ctx is present; guard anyway.
+                if let Some(ctx) = ctxs.get_mut(&op) {
+                    let token = next_token;
+                    next_token += 1;
+                    ctx.attempts_total += 1;
+                    ctx.in_flight += 1;
+                    attempt_of.insert(token, op);
+                    metrics.resilience_mut().attempts += 1;
+                    let resubmit = ctx.op.clone();
+                    store.submit(&mut sim, token, resubmit);
+                }
+            }
+            DriverEvent::Hedge { op } => {
+                // Speculative second read: only if the op is still pending
+                // on its first attempt, is a point read (an RMW may have
+                // moved on to its write phase), and has deadline budget.
+                if let Some(ctx) = ctxs.get_mut(&op) {
+                    if !ctx.hedged
+                        && ctx.in_flight == 1
+                        && matches!(ctx.op, StoreOp::Read { .. })
+                        && sim.now() < ctx.deadline
+                    {
+                        let token = next_token;
+                        next_token += 1;
+                        ctx.hedged = true;
+                        ctx.hedge_token = Some(token);
+                        ctx.attempts_total += 1;
+                        ctx.in_flight += 1;
+                        attempt_of.insert(token, op);
+                        metrics.resilience_mut().hedges += 1;
+                        metrics.resilience_mut().attempts += 1;
+                        let resubmit = ctx.op.clone();
+                        store.submit(&mut sim, token, resubmit);
+                    }
+                }
             }
             DriverEvent::Fault { index } => {
                 injector.fire(&mut sim, store, index);
@@ -257,58 +326,99 @@ where
         }
         // Drain completions produced by this dispatch.
         for c in store.drain_completions() {
-            let Some(ctx) = ctxs.remove(&c.token) else {
+            let Some(opid) = attempt_of.remove(&c.token) else {
                 continue;
             };
+            let Some(mut ctx) = ctxs.remove(&opid) else {
+                // The op already settled through another attempt: this is
+                // the losing side of a hedge race, cancelled at drain.
+                metrics.resilience_mut().hedge_cancelled += 1;
+                continue;
+            };
+            ctx.in_flight -= 1;
             let now = sim.now();
             let in_window = completed >= cfg.warmup_ops;
-            // RMW read phase: chain the write without finishing the op.
-            if ctx.rmw_read_phase && c.result.is_ok() {
-                let token = next_token;
-                next_token += 1;
-                let op = StoreOp::Update {
-                    key: ctx.key.clone(),
-                    value: pool.next(sim.rng()),
-                };
-                ctxs.insert(
-                    token,
-                    OpCtx {
-                        rmw_read_phase: false,
-                        ..ctx
-                    },
-                );
-                store.submit(&mut sim, token, op);
-                continue;
-            }
-            // The timeline (when enabled) spans the whole run including
-            // warm-up: a failure curve needs the pre-fault baseline.
-            match &c.result {
-                OpResult::Written { ts } => {
-                    tracker.write_acked(ctx.key.clone(), *ts);
-                    metrics.note_timeline(now, now - ctx.issued);
-                    if in_window {
-                        metrics.record(ctx.kind, now - ctx.issued);
+            if let OpResult::Error(e) = &c.result {
+                // A hedge twin is still racing: let it decide the op.
+                if ctx.in_flight > 0 {
+                    ctxs.insert(opid, ctx);
+                    continue;
+                }
+                match cfg
+                    .retry
+                    .on_error(*e, ctx.retries, now, ctx.deadline, sim.rng())
+                {
+                    RetryDecision::RetryAt(at) => {
+                        ctx.retries += 1;
+                        ctx.recovered = true;
+                        metrics.resilience_mut().retries += 1;
+                        ctxs.insert(opid, ctx);
+                        sim.schedule_at(at, DriverEvent::Retry { op: opid });
+                        continue;
+                    }
+                    RetryDecision::GiveUp(reason) => {
+                        if reason == GiveUpReason::DeadlineExceeded {
+                            metrics.resilience_mut().deadline_exceeded += 1;
+                        }
+                        metrics.note_timeline_error(now, ctx.attempts_total);
+                        if in_window {
+                            metrics.record_error();
+                        }
+                        // Fall through: the op settles as one client error.
                     }
                 }
-                OpResult::Value(cell) => {
-                    let stale = tracker.check(ctx.expected_ts, cell.as_ref().map(|c| c.ts));
-                    metrics.note_timeline(now, now - ctx.issued);
-                    if in_window {
-                        metrics.record_staleness_check(stale);
-                        metrics.record(ctx.kind, now - ctx.issued);
-                    }
+            } else {
+                // A success from the speculative attempt is a hedge win.
+                if ctx.hedge_token == Some(c.token) {
+                    metrics.resilience_mut().hedge_wins += 1;
+                    ctx.recovered = true;
                 }
-                OpResult::Rows(_) => {
-                    metrics.note_timeline(now, now - ctx.issued);
-                    if in_window {
-                        metrics.record(ctx.kind, now - ctx.issued);
-                    }
+                // RMW read phase: chain the write without finishing the op.
+                // Per-phase retry/hedge state resets; the deadline budget
+                // and recovered flag span the whole logical op.
+                if ctx.rmw_read_phase {
+                    let token = next_token;
+                    next_token += 1;
+                    let op = StoreOp::Update {
+                        key: ctx.key.clone(),
+                        value: pool.next(sim.rng()),
+                    };
+                    ctx.rmw_read_phase = false;
+                    ctx.op = op.clone();
+                    ctx.retries = 0;
+                    ctx.hedged = false;
+                    ctx.hedge_token = None;
+                    ctx.attempts_total += 1;
+                    ctx.in_flight = 1;
+                    attempt_of.insert(token, token);
+                    ctxs.insert(token, ctx);
+                    metrics.resilience_mut().attempts += 1;
+                    store.submit(&mut sim, token, op);
+                    continue;
                 }
-                OpResult::Error(_) => {
-                    metrics.note_timeline_error(now);
-                    if in_window {
-                        metrics.record_error();
+                match &c.result {
+                    OpResult::Written { ts } => {
+                        tracker.write_acked(ctx.key.clone(), *ts);
                     }
+                    OpResult::Value(cell) => {
+                        let stale = tracker.check(ctx.expected_ts, cell.as_ref().map(|c| c.ts));
+                        if in_window {
+                            metrics.record_staleness_check(stale);
+                        }
+                    }
+                    _ => {}
+                }
+                // The timeline (when enabled) spans the whole run including
+                // warm-up: a failure curve needs the pre-fault baseline.
+                metrics.note_timeline(now, now - ctx.issued, ctx.recovered, ctx.attempts_total);
+                if in_window {
+                    metrics.record(ctx.kind, now - ctx.issued);
+                }
+                let res = metrics.resilience_mut();
+                if ctx.recovered {
+                    res.retried_ok += 1;
+                } else {
+                    res.first_try_ok += 1;
                 }
             }
             completed += 1;
@@ -342,6 +452,7 @@ where
         },
         sim_duration_us: sim.now(),
         faults_injected: injector.applied(),
+        unsettled_ops: ctxs.len() as u64,
         counters: store.counters(),
         metrics,
     }

@@ -24,6 +24,7 @@ use ycsb::{TimelineWindow, WorkloadSpec};
 use crate::consistency::PAPER_LEVELS;
 use crate::driver::{self, DriverConfig};
 use crate::report::{fmt_ops, Table};
+use crate::resilience::RetryPolicy;
 use crate::setup::{build_cstore_with, build_hstore_with, Scale, StoreKind};
 use crate::sweep::{BasePool, Sweep, Telemetry};
 
@@ -340,6 +341,9 @@ pub fn run_failure_with(cfg: &FailureConfig, sweep: &Sweep) -> FailureResult {
             seed: ctx.seed,
             faults: FaultPlan::new().crash_window(cfg.victim, cfg.crash_at_us, cfg.recover_at_us),
             timeline_window_us: cfg.window_us,
+            // Fig. 4 keeps the paper's fair-weather client; Fig. 5 reruns
+            // this plan under real retry policies.
+            retry: RetryPolicy::none(),
         };
         let (cl, out) = match store {
             StoreKind::HStore => {

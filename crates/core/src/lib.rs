@@ -22,6 +22,13 @@
 //!   plan crashes a node mid-run and per-window metrics trace the
 //!   throughput dip, error spike, and recovery for every (store, RF,
 //!   consistency) combination.
+//! * [`resilience`] — the client-side resilience policy: bounded retries
+//!   with jittered exponential backoff, per-operation deadline budgets, and
+//!   hedged reads — pure decision logic the driver schedules through the
+//!   simulation event queue, so resilient runs stay deterministic.
+//! * [`availability`] — Fig. 5: availability under failure — the Fig. 4
+//!   crash/recover plan rerun under each retry policy, tracing goodput
+//!   (first-try vs retried successes), error rate, and attempts per op.
 //! * [`ablation`] — beyond-paper experiments: read repair on/off,
 //!   commit-log durability modes, node failure/failover.
 //! * [`sla`] — the paper's §6 future work: SLA-based stress specification
@@ -36,20 +43,24 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablation;
+pub mod availability;
 pub mod consistency;
 pub mod driver;
 pub mod failure;
 pub mod micro;
 pub mod report;
+pub mod resilience;
 pub mod setup;
 pub mod sla;
 pub mod store;
 pub mod stress;
 pub mod sweep;
 
+pub use availability::{AvailabilityConfig, AvailabilityResult};
 pub use driver::{DriverConfig, RunOutcome};
 pub use failure::{FailureConfig, FailureResult};
 pub use report::{AsciiChart, Table};
+pub use resilience::{GiveUpReason, RetryDecision, RetryPolicy};
 pub use setup::{build_cstore, build_hstore, Scale, StoreKind};
 pub use store::{DriverEvent, SimStore};
 pub use sweep::{BasePool, Sweep, SweepOutcome, Telemetry};

@@ -10,6 +10,7 @@ use ycsb::WorkloadSpec;
 
 use crate::driver::{self, DriverConfig};
 use crate::report::{fmt_us, Table};
+use crate::resilience::RetryPolicy;
 use crate::setup::{build_cstore, build_hstore, Scale, StoreKind};
 use crate::sweep::{BasePool, Sweep, Telemetry};
 use cstore::Consistency;
@@ -182,6 +183,7 @@ fn micro_driver_cfg(cfg: &MicroConfig, op: OpKind, seed: u64) -> DriverConfig {
         seed,
         faults: Default::default(),
         timeline_window_us: 0,
+        retry: RetryPolicy::none(),
     }
 }
 

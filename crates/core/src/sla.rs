@@ -15,6 +15,7 @@ use faults::FaultTarget;
 
 use crate::driver::{self, DriverConfig};
 use crate::report::{fmt_ops, fmt_us, Table};
+use crate::resilience::RetryPolicy;
 use crate::setup::Scale;
 use crate::store::SimStore;
 use crate::sweep::Sweep;
@@ -147,6 +148,7 @@ where
                     seed: ctx.seed,
                     faults: Default::default(),
                     timeline_window_us: 0,
+                    retry: RetryPolicy::none(),
                 };
                 let out = driver::run(&mut snapshot, &dcfg);
                 let q = out.metrics.overall().quantile(cfg.sla.percentile);

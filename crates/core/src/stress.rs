@@ -10,6 +10,7 @@ use ycsb::WorkloadSpec;
 
 use crate::driver::{self, DriverConfig};
 use crate::report::{fmt_ops, fmt_us, Table};
+use crate::resilience::RetryPolicy;
 use crate::setup::{build_cstore, build_hstore, Scale, StoreKind};
 use crate::store::SimStore;
 use crate::sweep::{BasePool, Sweep, Telemetry};
@@ -228,6 +229,7 @@ fn run_cell<S: SimStore + faults::FaultTarget<Event = <S as SimStore>::Event> + 
             seed,
             faults: Default::default(),
             timeline_window_us: 0,
+            retry: RetryPolicy::none(),
         };
         let out = driver::run(&mut snapshot, &dcfg);
         if best.as_ref().is_none_or(|(t, _)| out.throughput > *t) {

@@ -1101,7 +1101,10 @@ impl Cluster {
                 at,
                 W::from(Event::Deliver {
                     token: op,
-                    result: OpResult::Error(OpError::Unavailable),
+                    // Distinct from `Unavailable`: the coordinator *accepted*
+                    // the request but replicas stopped answering mid-flight
+                    // (Cassandra's TimedOutException vs UnavailableException).
+                    result: OpResult::Error(OpError::Timeout),
                 }),
             );
         }
@@ -1623,8 +1626,13 @@ mod tests {
             }
         }
         let c = out.into_iter().find(|c| c.token == t).expect("timed out");
-        assert_eq!(c.result, OpResult::Error(OpError::Unavailable));
+        // Mid-flight replica death is a *timeout*, not an unavailable
+        // verdict: the coordinator accepted the request, so a retrying
+        // client should treat it as transient.
+        assert_eq!(c.result, OpResult::Error(OpError::Timeout));
+        assert!(OpError::Timeout.is_retryable());
         assert_eq!(h.cluster.metrics().timeouts, 1);
+        assert_eq!(h.cluster.metrics().unavailable, 0);
     }
 
     #[test]

@@ -804,7 +804,10 @@ impl Cluster {
             at,
             W::from(Event::Deliver {
                 token: op,
-                result: OpResult::Error(OpError::ServerDown),
+                // Distinct from `ServerDown`: the server accepted the
+                // request and then went silent (crashed mid-flight), rather
+                // than being known-dead at routing time.
+                result: OpResult::Error(OpError::Timeout),
             }),
         );
     }
@@ -1221,7 +1224,49 @@ mod tests {
         h.cluster.servers[server.index()].fail();
         let r = h.run_one(StoreOp::Read { key: key(10) });
         assert_eq!(r.result, OpResult::Error(OpError::ServerDown));
+        assert!(OpError::ServerDown.is_retryable());
         assert!(h.cluster.metrics().server_down >= 1);
+    }
+
+    #[test]
+    fn timeouts_fire_when_the_server_dies_mid_flight() {
+        // Two writes to the same server submitted back to back: the first
+        // opens a WAL group, the second queues behind it. Crashing the
+        // server after both arrivals strands the queued writer — no new
+        // group ever starts — so it must surface as a retryable `Timeout`
+        // (server accepted, then went silent), not a `ServerDown` verdict.
+        let mut cfg = config(1, 2, 100);
+        cfg.rpc_timeout_us = 50_000;
+        let mut h = Harness::new(cfg);
+        let server = h.cluster.regions().get(0).server;
+        let t1 = h.submit(StoreOp::Insert {
+            key: key(1),
+            value: k("a"),
+        });
+        let t2 = h.submit(StoreOp::Insert {
+            key: key(2),
+            value: k("b"),
+        });
+        let mut out = Vec::new();
+        let mut arrivals = 0;
+        while let Some(Ev::Store(ev)) = h.sim.next() {
+            let was_arrive = matches!(ev, Event::Arrive { .. });
+            h.cluster.handle(&mut h.sim, ev);
+            out.extend(h.cluster.drain_completions());
+            if was_arrive {
+                arrivals += 1;
+                if arrivals == 2 {
+                    h.cluster.crash_server(server);
+                }
+            }
+        }
+        let first = out.iter().find(|c| c.token == t1).expect("first write");
+        assert!(
+            matches!(first.result, OpResult::Written { .. }),
+            "in-flight group still commits: {first:?}"
+        );
+        let second = out.iter().find(|c| c.token == t2).expect("second write");
+        assert_eq!(second.result, OpResult::Error(OpError::Timeout));
     }
 
     #[test]

@@ -114,12 +114,47 @@ impl std::fmt::Display for OpKind {
 }
 
 /// Why an operation failed.
+///
+/// The taxonomy is what a retrying client needs: the first three variants
+/// are *transient* server-side conditions (a later attempt may land on a
+/// recovered node, a failed-over region, or a restored quorum), while
+/// [`OpError::Deadline`] is the *terminal* client-side verdict a resilience
+/// layer reports once an operation's time budget is exhausted — retrying it
+/// would be retrying the deadline itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpError {
     /// Not enough live replicas to satisfy the consistency level.
     Unavailable,
     /// The responsible server is down and nothing has taken over.
     ServerDown,
+    /// The request stayed incomplete past the store's RPC timeout (the
+    /// replica or server it was routed to stopped answering mid-flight).
+    Timeout,
+    /// The client-side per-operation deadline budget was exhausted across
+    /// all attempts. Emitted by the driver's resilience layer, never by a
+    /// store.
+    Deadline,
+}
+
+impl OpError {
+    /// True when a client may reasonably re-attempt the operation: the
+    /// failure is a transient server-side condition rather than a verdict.
+    pub fn is_retryable(self) -> bool {
+        match self {
+            OpError::Unavailable | OpError::ServerDown | OpError::Timeout => true,
+            OpError::Deadline => false,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpError::Unavailable => "unavailable",
+            OpError::ServerDown => "server-down",
+            OpError::Timeout => "timeout",
+            OpError::Deadline => "deadline",
+        }
+    }
 }
 
 /// The outcome a store reports for one operation.
@@ -220,5 +255,15 @@ mod tests {
         assert_eq!(OpKind::ReadModifyWrite.label(), "RMW");
         assert_eq!(OpKind::Read.to_string(), "READ");
         assert_eq!(OpKind::ALL.len(), 6);
+    }
+
+    #[test]
+    fn transient_errors_are_retryable_and_deadline_is_terminal() {
+        assert!(OpError::Unavailable.is_retryable());
+        assert!(OpError::ServerDown.is_retryable());
+        assert!(OpError::Timeout.is_retryable());
+        assert!(!OpError::Deadline.is_retryable());
+        assert_eq!(OpError::Timeout.label(), "timeout");
+        assert_eq!(OpError::Deadline.label(), "deadline");
     }
 }

@@ -34,6 +34,6 @@ pub mod workload;
 pub use client::Throttle;
 pub use generator::RequestDistribution;
 pub use keys::{balanced_tokens, encode_key, encode_point, KeySpace, ValuePool};
-pub use stats::{Histogram, RunMetrics, Timeline, TimelineWindow};
+pub use stats::{Histogram, ResilienceCounters, RunMetrics, Timeline, TimelineWindow};
 pub use validate::StalenessTracker;
 pub use workload::{DistributionKind, OpMix, WorkloadSpec};

@@ -151,6 +151,8 @@ impl Histogram {
 struct WindowStats {
     hist: Option<Histogram>,
     errors: u64,
+    retried_ok: u64,
+    attempts: u64,
 }
 
 /// One materialized timeline window, ready for tables and CSV rows.
@@ -172,6 +174,32 @@ pub struct TimelineWindow {
     pub p99_us: u64,
     /// Failed operations inside the window.
     pub errors: u64,
+    /// Of [`TimelineWindow::ops`], how many needed a retry or a winning
+    /// hedge (the rest succeeded on their first attempt).
+    pub retried_ops: u64,
+    /// Store attempts spent by the operations settling in this window
+    /// (successes and errors); `attempts / (ops + errors)` is the window's
+    /// attempts-per-op.
+    pub attempts: u64,
+}
+
+impl TimelineWindow {
+    /// Of [`TimelineWindow::ops`], how many succeeded on their first
+    /// attempt — the window's *goodput the client got for free*.
+    pub fn first_try_ops(&self) -> u64 {
+        self.ops - self.retried_ops
+    }
+
+    /// Mean store attempts per settled operation (0 when the window is
+    /// empty; 1.0 means no retry/hedge traffic at all).
+    pub fn attempts_per_op(&self) -> f64 {
+        let settled = self.ops + self.errors;
+        if settled == 0 {
+            0.0
+        } else {
+            self.attempts as f64 / settled as f64
+        }
+    }
 }
 
 /// Time-bucketed metrics: completions fall into fixed-width windows of
@@ -210,19 +238,36 @@ impl Timeline {
         self.windows.is_empty()
     }
 
-    /// Record one successful completion at virtual time `at`.
+    /// Record one successful completion at virtual time `at` that took one
+    /// first-try attempt (shorthand for [`Timeline::record_success`]).
     pub fn record(&mut self, at: u64, latency_us: u64) {
-        self.windows
-            .entry(at / self.window_us)
-            .or_default()
-            .hist
-            .get_or_insert_with(Histogram::new)
-            .record(latency_us);
+        self.record_success(at, latency_us, false, 1);
     }
 
-    /// Record one failed completion at virtual time `at`.
+    /// Record one successful completion at virtual time `at`: `retried`
+    /// marks an operation that needed a retry or winning hedge, `attempts`
+    /// counts the store attempts it consumed.
+    pub fn record_success(&mut self, at: u64, latency_us: u64, retried: bool, attempts: u32) {
+        let w = self.windows.entry(at / self.window_us).or_default();
+        w.hist.get_or_insert_with(Histogram::new).record(latency_us);
+        if retried {
+            w.retried_ok += 1;
+        }
+        w.attempts += u64::from(attempts);
+    }
+
+    /// Record one failed completion at virtual time `at` that consumed one
+    /// attempt (shorthand for [`Timeline::record_failure`]).
     pub fn record_error(&mut self, at: u64) {
-        self.windows.entry(at / self.window_us).or_default().errors += 1;
+        self.record_failure(at, 1);
+    }
+
+    /// Record one client-visible failure at virtual time `at` that consumed
+    /// `attempts` store attempts.
+    pub fn record_failure(&mut self, at: u64, attempts: u32) {
+        let w = self.windows.entry(at / self.window_us).or_default();
+        w.errors += 1;
+        w.attempts += u64::from(attempts);
     }
 
     /// Materialize every window from the first recorded one through the
@@ -251,10 +296,36 @@ impl Timeline {
                     p95_us,
                     p99_us,
                     errors: w.errors,
+                    retried_ops: w.retried_ok,
+                    attempts: w.attempts,
                 }
             })
             .collect()
     }
+}
+
+/// Client-resilience accounting for one run, maintained by the driver's
+/// retry/hedge layer. All zeros under a no-retry policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceCounters {
+    /// Attempts submitted to the store: first tries, retries, hedges, and
+    /// read-modify-write write phases.
+    pub attempts: u64,
+    /// Backed-off re-submissions after a retryable error.
+    pub retries: u64,
+    /// Hedged (speculative second) read attempts issued.
+    pub hedges: u64,
+    /// Settled operations whose hedge attempt finished first.
+    pub hedge_wins: u64,
+    /// Hedge losers: attempt completions drained after their operation had
+    /// already settled, counted and dropped.
+    pub hedge_cancelled: u64,
+    /// Client-visible errors verdicted by the per-op deadline budget.
+    pub deadline_exceeded: u64,
+    /// Operations that succeeded on their first attempt.
+    pub first_try_ok: u64,
+    /// Operations that needed a retry or a winning hedge to succeed.
+    pub retried_ok: u64,
 }
 
 /// Aggregated metrics for one benchmark run.
@@ -263,6 +334,7 @@ pub struct RunMetrics {
     per_op: BTreeMap<OpKind, Histogram>,
     all: Option<Histogram>,
     timeline: Option<Timeline>,
+    resilience: ResilienceCounters,
     started_at: u64,
     finished_at: u64,
     errors: u64,
@@ -311,19 +383,31 @@ impl RunMetrics {
     /// timeline; a no-op unless [`RunMetrics::enable_timeline`] was called.
     /// Separate from [`RunMetrics::record`] because the timeline spans the
     /// whole run (warm-up included) while aggregates cover only the
-    /// measured window.
-    pub fn note_timeline(&mut self, at: u64, latency_us: u64) {
+    /// measured window. `retried` and `attempts` carry the resilience
+    /// layer's per-op accounting into the window columns.
+    pub fn note_timeline(&mut self, at: u64, latency_us: u64, retried: bool, attempts: u32) {
         if let Some(t) = &mut self.timeline {
-            t.record(at, latency_us);
+            t.record_success(at, latency_us, retried, attempts);
         }
     }
 
-    /// Note one failed completion at virtual time `at` for the timeline; a
-    /// no-op unless the timeline is enabled.
-    pub fn note_timeline_error(&mut self, at: u64) {
+    /// Note one failed completion at virtual time `at` (after `attempts`
+    /// store attempts) for the timeline; a no-op unless the timeline is
+    /// enabled.
+    pub fn note_timeline_error(&mut self, at: u64, attempts: u32) {
         if let Some(t) = &mut self.timeline {
-            t.record_error(at);
+            t.record_failure(at, attempts);
         }
+    }
+
+    /// The run's client-resilience counters.
+    pub fn resilience(&self) -> &ResilienceCounters {
+        &self.resilience
+    }
+
+    /// Mutable access for the driver's retry/hedge layer.
+    pub fn resilience_mut(&mut self) -> &mut ResilienceCounters {
+        &mut self.resilience
     }
 
     /// The timeline, when enabled.
@@ -553,12 +637,12 @@ mod tests {
     #[test]
     fn run_metrics_timeline_hooks_are_noops_until_enabled() {
         let mut m = RunMetrics::new();
-        m.note_timeline(100, 5);
-        m.note_timeline_error(100);
+        m.note_timeline(100, 5, false, 1);
+        m.note_timeline_error(100, 1);
         assert!(m.timeline().is_none());
         m.enable_timeline(1_000);
-        m.note_timeline(100, 5);
-        m.note_timeline_error(2_100);
+        m.note_timeline(100, 5, false, 1);
+        m.note_timeline_error(2_100, 1);
         let t = m.timeline().expect("enabled");
         let w = t.windows();
         assert_eq!(w.len(), 3);
@@ -567,5 +651,46 @@ mod tests {
         // Timeline recording is independent of the aggregate counters.
         assert_eq!(m.ops(), 0);
         assert_eq!(m.errors(), 0);
+    }
+
+    #[test]
+    fn timeline_splits_first_try_from_retried_goodput() {
+        let mut t = Timeline::new(1_000);
+        t.record_success(100, 10, false, 1); // clean first try
+        t.record_success(200, 900, true, 3); // needed two extra attempts
+        t.record_failure(300, 4); // gave up after four attempts
+        let w = t.windows();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].ops, 2);
+        assert_eq!(w[0].retried_ops, 1);
+        assert_eq!(w[0].first_try_ops(), 1);
+        assert_eq!(w[0].errors, 1);
+        assert_eq!(w[0].attempts, 8);
+        assert!((w[0].attempts_per_op() - 8.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plain_record_is_a_first_try_single_attempt() {
+        let mut t = Timeline::new(1_000);
+        t.record(100, 10);
+        t.record_error(200);
+        let w = t.windows();
+        assert_eq!(w[0].retried_ops, 0);
+        assert_eq!(w[0].attempts, 2);
+        assert!((w[0].attempts_per_op() - 1.0).abs() < 1e-9);
+        // An empty window has no attempts-per-op.
+        let empty = Timeline::new(10).windows();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn resilience_counters_default_to_zero_and_are_driver_writable() {
+        let mut m = RunMetrics::new();
+        assert_eq!(*m.resilience(), ResilienceCounters::default());
+        m.resilience_mut().attempts += 3;
+        m.resilience_mut().retries += 1;
+        m.resilience_mut().retried_ok += 1;
+        assert_eq!(m.resilience().attempts, 3);
+        assert_eq!(m.resilience().retries, 1);
     }
 }

@@ -1,8 +1,11 @@
-//! Integration tests for the fault-injection subsystem: identical
-//! (plan, seed) pairs reproduce bit-identical timelines, inert plans
-//! leave a run untouched, and randomized plans are seed-deterministic.
+//! Integration tests for the fault-injection subsystem and the client
+//! resilience layer riding on it: identical (plan, seed) pairs reproduce
+//! bit-identical timelines — with and without retries/hedging — inert
+//! plans and no-op retry policies leave a run untouched, and deadline
+//! give-ups surface exactly one client error without leaking tokens.
 
 use cloudserve::bench_core::driver::{self, DriverConfig, RunOutcome};
+use cloudserve::bench_core::resilience::RetryPolicy;
 use cloudserve::bench_core::setup::{build_cstore, build_hstore, Scale};
 use cloudserve::cstore::Consistency;
 use cloudserve::faults::FaultPlan;
@@ -34,6 +37,22 @@ fn run_cstore(plan: FaultPlan, window_us: u64) -> RunOutcome {
     let mut s = build_cstore(&scale, 3, Consistency::One, Consistency::One);
     driver::load(&mut s, scale.records, scale.value_len, 7);
     driver::run(&mut s, &faulted_cfg(&scale, plan, window_us))
+}
+
+fn run_cstore_with_policy(
+    plan: FaultPlan,
+    window_us: u64,
+    write_cl: Consistency,
+    retry: RetryPolicy,
+) -> RunOutcome {
+    let scale = Scale::tiny();
+    let mut s = build_cstore(&scale, 3, Consistency::One, write_cl);
+    driver::load(&mut s, scale.records, scale.value_len, 7);
+    let cfg = DriverConfig {
+        retry,
+        ..faulted_cfg(&scale, plan, window_us)
+    };
+    driver::run(&mut s, &cfg)
 }
 
 #[test]
@@ -98,6 +117,97 @@ fn timeline_recording_does_not_perturb_the_run() {
     assert_eq!(with_timeline.throughput, without.throughput);
     assert_eq!(with_timeline.errors, without.errors);
     assert_eq!(with_timeline.mean_latency_us, without.mean_latency_us);
+}
+
+#[test]
+fn retrying_and_hedging_timelines_are_seed_deterministic() {
+    // Write-ALL under a crash produces a steady stream of retryable
+    // errors, so the retry ladder, its jitter draws, and the hedging path
+    // all genuinely engage — and must still replay bit-identically.
+    let plan = FaultPlan::new().crash_window(NodeId(0), 400_000, 900_000);
+    let policy = RetryPolicy::retrying(6, 10_000, 0).with_hedge(3_000);
+    let go = || run_cstore_with_policy(plan.clone(), 100_000, Consistency::All, policy);
+    let a = go();
+    let b = go();
+    let ra = a.metrics.resilience();
+    assert!(ra.retries > 0, "the crash must exercise the retry path");
+    assert!(ra.hedges > 0, "the tail must exercise the hedge path");
+    assert_eq!(ra, b.metrics.resilience());
+    assert_eq!(a.throughput, b.throughput);
+    assert_eq!(a.errors, b.errors);
+    assert_eq!(a.mean_latency_us, b.mean_latency_us);
+    assert_eq!(
+        a.metrics.timeline().expect("timeline enabled").windows(),
+        b.metrics.timeline().expect("timeline enabled").windows(),
+    );
+}
+
+#[test]
+fn untriggered_policies_leave_the_run_bit_identical() {
+    // The resilience layer's no-perturbation contract: under the default
+    // config (RetryPolicy::none) the driver is bit-identical to one
+    // predating the layer — proven against the checked-in fig1/fig2/fig4
+    // artifacts — and an armed retry policy that never fires (no faults,
+    // no errors, no hedging) draws no randomness and schedules no events,
+    // so it reproduces the very same run.
+    let baseline = run_cstore(FaultPlan::new(), 100_000);
+    let explicit_none = run_cstore_with_policy(
+        FaultPlan::new(),
+        100_000,
+        Consistency::One,
+        RetryPolicy::none(),
+    );
+    let armed_but_idle = run_cstore_with_policy(
+        FaultPlan::new(),
+        100_000,
+        Consistency::One,
+        RetryPolicy::retrying(5, 10_000, 0),
+    );
+    for out in [&explicit_none, &armed_but_idle] {
+        assert_eq!(out.metrics.resilience().retries, 0);
+        assert_eq!(out.metrics.resilience().hedges, 0);
+        assert_eq!(out.throughput, baseline.throughput);
+        assert_eq!(out.errors, baseline.errors);
+        assert_eq!(out.mean_latency_us, baseline.mean_latency_us);
+        assert_eq!(out.sim_duration_us, baseline.sim_duration_us);
+        assert_eq!(
+            out.metrics.timeline().expect("timeline enabled").windows(),
+            baseline
+                .metrics
+                .timeline()
+                .expect("timeline enabled")
+                .windows(),
+        );
+    }
+}
+
+#[test]
+fn deadline_give_ups_settle_exactly_once_without_leaking_tokens() {
+    // A permanently-dead replica under write-ALL makes every write fail;
+    // the backoff ladder (60 ms, 120 ms, ...) outruns the 150 ms budget
+    // after a retry or two, so each failing op must surface exactly one
+    // client-visible error — no late completions, no stuck client
+    // threads, no tokens left in the driver's maps.
+    let plan = FaultPlan::new().crash_at(NodeId(0), 0);
+    let out = run_cstore_with_policy(
+        plan,
+        100_000,
+        Consistency::All,
+        RetryPolicy::retrying(10, 60_000, 150_000),
+    );
+    assert!(out.errors > 0, "write-ALL with a dead replica must fail");
+    let res = out.metrics.resilience();
+    assert!(res.retries > 0, "the budget must allow at least one retry");
+    assert!(
+        res.deadline_exceeded > 0,
+        "the ladder must hit the deadline: {res:?}"
+    );
+    // Every measured completion settled exactly once: successes plus
+    // errors account for the full measured window, nothing settled twice
+    // (which would overshoot) and nothing hung (which would undershoot or
+    // leave unsettled ops behind).
+    assert_eq!(out.metrics.ops() + out.errors, 2_000);
+    assert_eq!(out.unsettled_ops, 0);
 }
 
 #[test]
