@@ -33,6 +33,7 @@ fn main() {
         faults: Default::default(),
         timeline_window_us: 0,
         retry: RetryPolicy::none(),
+        trace: Default::default(),
     };
 
     {
@@ -101,6 +102,7 @@ fn consistency_probe() {
             faults: Default::default(),
             timeline_window_us: 0,
             retry: RetryPolicy::none(),
+            trace: Default::default(),
         };
         let out = driver::run(&mut c, &dcfg);
         let (hits, misses) = (0..c.len()).fold((0u64, 0u64), |(h, m), i| {

@@ -1,0 +1,52 @@
+//! Regenerates Fig. 6: the latency-decomposition experiment.
+//!
+//! Both stores, RF {1, 3, 5}, consistency levels ONE / QUORUM / write-ALL
+//! (Cassandra analog) and the implicit strong level (HBase analog), with
+//! every operation span-traced. Prints the stage-attribution summary and
+//! writes the per-stage table to `results/fig6_decomposition.csv` plus a
+//! sample of full span traces to `results/fig6_traces.jsonl`.
+
+use bench_core::decomposition::{run_decomposition, DecompositionConfig};
+use bench_core::setup::StoreKind;
+
+fn main() {
+    let cfg = if bench::quick_requested() {
+        DecompositionConfig::quick()
+    } else {
+        DecompositionConfig::default()
+    };
+    eprintln!(
+        "fig6: {} records, rf {:?}, {} threads, tracing every {} op(s)",
+        cfg.scale.records, cfg.rfs, cfg.threads, cfg.sample_every,
+    );
+    let started = std::time::Instant::now();
+    let result = run_decomposition(&cfg);
+    eprintln!("fig6: done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!("fig6: {}", result.telemetry.summary());
+    for c in &result.cells {
+        assert!(
+            c.exact,
+            "critical-path sums must equal measured latency ({}/{}/{})",
+            c.store, c.rf, c.cl
+        );
+    }
+    let traced: u64 = result.cells.iter().map(|c| c.ops_traced).sum();
+    println!(
+        "critical paths exact: yes ({} cells, {} traced ops)",
+        result.cells.len(),
+        traced
+    );
+
+    println!("{}", result.render());
+    let path = bench::results_dir().join("fig6_decomposition.csv");
+    result.table().write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+
+    // A handful of full span trees from the most interesting cell —
+    // quorum writes at the paper's standard RF=3 — for trace tooling.
+    if let Some(trace) = result.sample_trace(StoreKind::CStore, 3, "QUORUM") {
+        let path = bench::results_dir().join("fig6_traces.jsonl");
+        trace.write_jsonl(&path).expect("write jsonl");
+        println!("sample traces written to {}", path.display());
+    }
+}

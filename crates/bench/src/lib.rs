@@ -13,6 +13,9 @@
 //! * `fig5` — availability under failure with a resilient client (the
 //!   Fig. 4 crash under `none` / `retry` / `retry+hedge` policies:
 //!   goodput split, client-visible errors, attempts-per-op cost).
+//! * `fig6` — latency decomposition (every op span-traced, critical paths
+//!   extracted, virtual time attributed to pipeline stages — where does
+//!   the time go, both stores × RF × consistency).
 //! * `ablations` — beyond-paper ablations (read repair, commit-log
 //!   durability, failover phases).
 //!

@@ -74,6 +74,7 @@ impl AblationConfig {
             faults: Default::default(),
             timeline_window_us: 0,
             retry: RetryPolicy::none(),
+            trace: obs::TraceConfig::off(),
         }
     }
 }

@@ -365,6 +365,7 @@ pub fn run_availability_with(cfg: &AvailabilityConfig, sweep: &Sweep) -> Availab
             faults: FaultPlan::new().crash_window(cfg.victim, cfg.crash_at_us, cfg.recover_at_us),
             timeline_window_us: cfg.window_us,
             retry,
+            trace: obs::TraceConfig::off(),
         };
         let (cl, out) = match store {
             StoreKind::HStore => {

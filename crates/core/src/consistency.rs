@@ -290,6 +290,7 @@ pub fn run_consistency_with(cfg: &ConsistencyConfig, sweep: &Sweep) -> Consisten
             faults: Default::default(),
             timeline_window_us: 0,
             retry: RetryPolicy::none(),
+            trace: obs::TraceConfig::off(),
         };
         let run = driver::run(&mut snapshot, &dcfg);
         let repair_writes = run

@@ -50,6 +50,11 @@ pub struct DriverConfig {
     /// extra events and draws no randomness, leaving the run bit-identical
     /// to a driver without the resilience layer.
     pub retry: RetryPolicy,
+    /// Span-trace sampling. [`obs::TraceConfig::off`] (the default) keeps
+    /// the store tracers disabled: no spans are recorded, no events or RNG
+    /// draws are added, and the run is bit-identical to a driver without
+    /// the tracing layer.
+    pub trace: obs::TraceConfig,
 }
 
 impl DriverConfig {
@@ -67,6 +72,7 @@ impl DriverConfig {
             faults: FaultPlan::new(),
             timeline_window_us: 0,
             retry: RetryPolicy::none(),
+            trace: obs::TraceConfig::off(),
         }
     }
 }
@@ -95,6 +101,9 @@ pub struct RunOutcome {
     pub unsettled_ops: u64,
     /// Store behaviour counters at the end of the run (cumulative).
     pub counters: Vec<(&'static str, u64)>,
+    /// Per-op span trees for the sampled operations, when
+    /// [`DriverConfig::trace`] enabled tracing; `None` otherwise.
+    pub trace: Option<obs::RunTrace>,
 }
 
 /// Bulk-load `records` records (functional, instant) and flush, leaving the
@@ -166,6 +175,19 @@ where
     let mut next_token: u64 = 1;
     let mut issued: u64 = 0;
     let mut completed: u64 = 0;
+    // Tracing bookkeeping. All of it is gated on `tracing`, and the tracer
+    // itself is pure bookkeeping (no events, no RNG), so a disabled run is
+    // bit-identical to one without any of this machinery.
+    let tracing = cfg.trace.enabled();
+    if tracing {
+        store.tracer_mut().enable();
+    }
+    // Attempt token -> logical op id, for every attempt of a traced op.
+    // Retries, hedges, and the RMW write phase submit fresh tokens whose
+    // spans must fold back into the logical op's trace.
+    let mut trace_of: HashMap<u64, u64> = HashMap::new();
+    // Settle metadata of traced ops: (logical id, kind, issued, settled, ok).
+    let mut traced_settled: Vec<(u64, OpKind, SimTime, SimTime, bool)> = Vec::new();
     let mut window_start: SimTime = 0;
     let mut window_end: SimTime = 0;
     if cfg.timeline_window_us > 0 {
@@ -272,6 +294,12 @@ where
                 );
                 attempt_of.insert(token, token);
                 metrics.resilience_mut().attempts += 1;
+                // Deterministic sampling by 0-based issue index: the same
+                // seed and sampling config always trace the same ops.
+                if tracing && cfg.trace.samples(issued - 1, cfg.seed) {
+                    trace_of.insert(token, token);
+                    store.tracer_mut().watch(token);
+                }
                 store.submit(&mut sim, token, op);
                 // Hedging covers point reads only (including the RMW read
                 // phase); the event is harmless if the op settles first.
@@ -289,6 +317,10 @@ where
                     ctx.in_flight += 1;
                     attempt_of.insert(token, op);
                     metrics.resilience_mut().attempts += 1;
+                    if let Some(&logical) = trace_of.get(&op) {
+                        trace_of.insert(token, logical);
+                        store.tracer_mut().watch(token);
+                    }
                     let resubmit = ctx.op.clone();
                     store.submit(&mut sim, token, resubmit);
                 }
@@ -312,6 +344,10 @@ where
                         attempt_of.insert(token, op);
                         metrics.resilience_mut().hedges += 1;
                         metrics.resilience_mut().attempts += 1;
+                        if let Some(&logical) = trace_of.get(&op) {
+                            trace_of.insert(token, logical);
+                            store.tracer_mut().watch(token);
+                        }
                         let resubmit = ctx.op.clone();
                         store.submit(&mut sim, token, resubmit);
                     }
@@ -353,6 +389,17 @@ where
                         ctx.recovered = true;
                         metrics.resilience_mut().retries += 1;
                         ctxs.insert(opid, ctx);
+                        if tracing {
+                            if let Some(&logical) = trace_of.get(&opid) {
+                                store.tracer_mut().record(
+                                    logical,
+                                    obs::Stage::RetryBackoff,
+                                    obs::CLIENT_NODE,
+                                    now,
+                                    at,
+                                );
+                            }
+                        }
                         sim.schedule_at(at, DriverEvent::Retry { op: opid });
                         continue;
                     }
@@ -393,6 +440,12 @@ where
                     attempt_of.insert(token, token);
                     ctxs.insert(token, ctx);
                     metrics.resilience_mut().attempts += 1;
+                    // The logical op is re-keyed to the write phase's token;
+                    // keep mapping its spans back to the original trace id.
+                    if let Some(&logical) = trace_of.get(&opid) {
+                        trace_of.insert(token, logical);
+                        store.tracer_mut().watch(token);
+                    }
                     store.submit(&mut sim, token, op);
                     continue;
                 }
@@ -421,6 +474,13 @@ where
                     res.first_try_ok += 1;
                 }
             }
+            // The op settles here, exactly once, on success or give-up.
+            if tracing {
+                if let Some(&logical) = trace_of.get(&opid) {
+                    let ok = !matches!(c.result, OpResult::Error(_));
+                    traced_settled.push((logical, ctx.kind, ctx.issued, now, ok));
+                }
+            }
             completed += 1;
             if completed == cfg.warmup_ops {
                 window_start = now;
@@ -439,6 +499,43 @@ where
     if window_end == 0 {
         window_end = sim.now();
     }
+    // Assemble the per-op traces: fold every attempt's spans back onto its
+    // logical op, split off background activity, order deterministically.
+    let trace = if tracing {
+        let mut by_op: std::collections::BTreeMap<u64, Vec<obs::StageSpan>> = Default::default();
+        let mut background: Vec<obs::StageSpan> = Vec::new();
+        for mut s in store.tracer_mut().take_spans() {
+            if s.op == obs::BG_OP {
+                background.push(s);
+                continue;
+            }
+            let Some(&logical) = trace_of.get(&s.op) else {
+                continue;
+            };
+            s.op = logical;
+            by_op.entry(logical).or_default().push(s);
+        }
+        background.sort_by_key(|s| s.sort_key());
+        traced_settled.sort_by_key(|&(id, ..)| id);
+        let ops = traced_settled
+            .into_iter()
+            .map(|(id, kind, issued_at, settled, ok)| {
+                let mut spans = by_op.remove(&id).unwrap_or_default();
+                spans.sort_by_key(|s| s.sort_key());
+                obs::OpTrace {
+                    op: id,
+                    kind,
+                    issued: issued_at,
+                    settled,
+                    ok,
+                    spans,
+                }
+            })
+            .collect();
+        Some(obs::RunTrace { ops, background })
+    } else {
+        None
+    };
     metrics.set_window(window_start, window_end);
     let (stale, checked) = metrics.staleness();
     RunOutcome {
@@ -454,6 +551,7 @@ where
         faults_injected: injector.applied(),
         unsettled_ops: ctxs.len() as u64,
         counters: store.counters(),
+        trace,
         metrics,
     }
 }

@@ -344,6 +344,7 @@ pub fn run_failure_with(cfg: &FailureConfig, sweep: &Sweep) -> FailureResult {
             // Fig. 4 keeps the paper's fair-weather client; Fig. 5 reruns
             // this plan under real retry policies.
             retry: RetryPolicy::none(),
+            trace: obs::TraceConfig::off(),
         };
         let (cl, out) = match store {
             StoreKind::HStore => {

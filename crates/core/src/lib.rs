@@ -29,6 +29,11 @@
 //! * [`availability`] — Fig. 5: availability under failure — the Fig. 4
 //!   crash/recover plan rerun under each retry policy, tracing goodput
 //!   (first-try vs retried successes), error rate, and attempts per op.
+//! * [`decomposition`] — Fig. 6: latency decomposition — every op traced
+//!   through the span tracer, its critical path extracted, and virtual
+//!   time attributed to pipeline stages, so each (store, RF, CL) cell
+//!   shows exactly where the time goes (HBase: in-memory WAL ack, flat in
+//!   RF; Cassandra: quorum wait growing with RF and CL).
 //! * [`ablation`] — beyond-paper experiments: read repair on/off,
 //!   commit-log durability modes, node failure/failover.
 //! * [`sla`] — the paper's §6 future work: SLA-based stress specification
@@ -45,6 +50,7 @@
 pub mod ablation;
 pub mod availability;
 pub mod consistency;
+pub mod decomposition;
 pub mod driver;
 pub mod failure;
 pub mod micro;
@@ -57,6 +63,7 @@ pub mod stress;
 pub mod sweep;
 
 pub use availability::{AvailabilityConfig, AvailabilityResult};
+pub use decomposition::{DecompositionConfig, DecompositionResult};
 pub use driver::{DriverConfig, RunOutcome};
 pub use failure::{FailureConfig, FailureResult};
 pub use report::{AsciiChart, Table};

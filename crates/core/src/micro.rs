@@ -184,6 +184,7 @@ fn micro_driver_cfg(cfg: &MicroConfig, op: OpKind, seed: u64) -> DriverConfig {
         faults: Default::default(),
         timeline_window_us: 0,
         retry: RetryPolicy::none(),
+        trace: obs::TraceConfig::off(),
     }
 }
 

@@ -149,6 +149,7 @@ where
                     faults: Default::default(),
                     timeline_window_us: 0,
                     retry: RetryPolicy::none(),
+                    trace: obs::TraceConfig::off(),
                 };
                 let out = driver::run(&mut snapshot, &dcfg);
                 let q = out.metrics.overall().quantile(cfg.sla.percentile);

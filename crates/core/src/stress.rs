@@ -230,6 +230,7 @@ fn run_cell<S: SimStore + faults::FaultTarget<Event = <S as SimStore>::Event> + 
             faults: Default::default(),
             timeline_window_us: 0,
             retry: RetryPolicy::none(),
+            trace: obs::TraceConfig::off(),
         };
         let out = driver::run(&mut snapshot, &dcfg);
         if best.as_ref().is_none_or(|(t, _)| out.throughput > *t) {

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use obs::{Stage, Tracer};
 use simkit::{NodeId, Sim, SimTime};
 use storage::types::entry_encoded_len;
 use storage::{Cell, Completion, Key, OpError, OpResult, StoreOp, Value};
@@ -43,6 +44,8 @@ struct WriteState {
     acks: u32,
     responded: bool,
     ts: u64,
+    /// When the replica fan-out left the coordinator (quorum-wait start).
+    fanout_at: SimTime,
 }
 
 #[derive(Debug, Clone)]
@@ -55,6 +58,8 @@ struct ReadState {
     /// replicas when read repair is active).
     fanout: bool,
     results: Vec<(NodeId, Option<Cell>)>,
+    /// When the replica fan-out left the coordinator (quorum-wait start).
+    fanout_at: SimTime,
 }
 
 #[derive(Debug, Clone)]
@@ -67,6 +72,8 @@ struct ScanState {
     current_primary: usize,
     rounds: u32,
     responded: bool,
+    /// When the current round's fan-out left the coordinator.
+    round_started: SimTime,
 }
 
 /// A simulated Cassandra-analog cluster.
@@ -80,6 +87,7 @@ pub struct Cluster {
     metrics: Metrics,
     next_coord: usize,
     pauses_started: bool,
+    tracer: Tracer,
 }
 
 impl Cluster {
@@ -100,6 +108,7 @@ impl Cluster {
             metrics: Metrics::new(),
             next_coord: 0,
             pauses_started: false,
+            tracer: Tracer::new(),
         }
     }
 
@@ -116,6 +125,12 @@ impl Cluster {
     /// Behaviour counters.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The span tracer (disabled by default; the driver enables it and
+    /// registers which tokens to record).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Node count.
@@ -316,6 +331,8 @@ impl Cluster {
             _ => self.config.costs.msg_overhead_bytes,
         };
         let at = self.client_delivery(from, bytes, start);
+        self.tracer
+            .record(token, Stage::RespSend, from.0, start, at);
         sim.schedule_at(at, W::from(Event::Deliver { token, result }));
     }
 
@@ -349,6 +366,8 @@ impl Cluster {
         let bytes = self.req_bytes(&op);
         let arr = sim.now() + self.config.profile.nic.prop_us;
         let rx_done = self.nodes[coord.index()].hw.nic.rx(arr, bytes);
+        self.tracer
+            .record(token, Stage::ClientSend, coord.0, sim.now(), rx_done);
         self.pending.insert(
             token,
             Pending {
@@ -432,6 +451,8 @@ impl Cluster {
             if n.hw.is_up() {
                 self.metrics.gc_pauses += 1;
                 let now = sim.now();
+                self.tracer
+                    .record_bg(Stage::GcPause, node.0, now, now + dur);
                 for _ in 0..n.hw.cpu.servers() {
                     n.hw.cpu.acquire(now, dur);
                 }
@@ -494,6 +515,8 @@ impl Cluster {
             .hw
             .cpu
             .acquire(sim.now(), self.config.costs.coord_us);
+        self.tracer
+            .record(op, Stage::ServerCpu, coord.0, sim.now(), t1);
         match kind {
             StoreOp::Insert { key, value } | StoreOp::Update { key, value } => {
                 self.start_write(sim, op, coord, key, Cell::live(value, t1), t1);
@@ -545,6 +568,7 @@ impl Cluster {
         let expected = live.len() as u32;
         for r in live {
             let arr = self.net_to(coord, r, bytes, t1);
+            self.tracer.record(op, Stage::ReplicaRpc, r.0, t1, arr);
             sim.schedule_at(
                 arr,
                 W::from(Event::ReplicaWrite {
@@ -563,6 +587,7 @@ impl Cluster {
                 acks: 0,
                 responded: false,
                 ts: cell.ts,
+                fanout_at: t1,
             });
         }
     }
@@ -605,6 +630,7 @@ impl Cluster {
         let expected = targets.len() as u32;
         for r in targets {
             let arr = self.net_to(coord, r, bytes, t1);
+            self.tracer.record(op, Stage::ReplicaRpc, r.0, t1, arr);
             sim.schedule_at(
                 arr,
                 W::from(Event::ReplicaRead {
@@ -621,6 +647,7 @@ impl Cluster {
                 responded: false,
                 fanout,
                 results: Vec::with_capacity(expected as usize),
+                fanout_at: t1,
             });
         }
     }
@@ -646,6 +673,7 @@ impl Cluster {
                 current_primary: p_idx,
                 rounds: 0,
                 responded: false,
+                round_started: t1,
             });
         }
         self.send_scan_round(sim, op, coord, p_idx, start, limit, t1);
@@ -688,6 +716,7 @@ impl Cluster {
         let bytes = self.config.costs.msg_overhead_bytes + start.len() as u64;
         for (i, &r) in live[..probed].iter().enumerate() {
             let arr = self.net_to(coord, r, bytes, t1);
+            self.tracer.record(op, Stage::ReplicaRpc, r.0, t1, arr);
             sim.schedule_at(
                 arr,
                 W::from(Event::ReplicaScan {
@@ -707,6 +736,7 @@ impl Cluster {
                 s.needed_this_round = needed;
                 s.received_this_round = 0;
                 s.partials.clear();
+                s.round_started = t1;
             }
         }
     }
@@ -728,7 +758,10 @@ impl Cluster {
         let costs = self.config.costs;
         let service = self.service(sim, costs.replica_write_us);
         let n = &mut self.nodes[node.index()];
-        let mut t1 = n.hw.cpu.acquire(sim.now(), service);
+        let cpu_end = n.hw.cpu.acquire(sim.now(), service);
+        self.tracer
+            .record(op, Stage::ReplicaWork, node.0, sim.now(), cpu_end);
+        let mut t1 = cpu_end;
         let wal_bytes = entry_encoded_len(&key, &cell) + 8;
         match self.config.commitlog_sync {
             CommitlogSync::Periodic => {
@@ -737,6 +770,8 @@ impl Cluster {
             }
             CommitlogSync::PerWrite => {
                 t1 = n.hw.disk.random_write(t1, wal_bytes);
+                self.tracer
+                    .record(op, Stage::WalCommit, node.0, cpu_end, t1);
             }
         }
         sim.schedule_at(
@@ -781,6 +816,7 @@ impl Cluster {
         let coord = p.coordinator;
         let bytes = self.config.costs.msg_overhead_bytes;
         let arr = self.net_to(node, coord, bytes, now);
+        self.tracer.record(op, Stage::ReplicaRpc, node.0, now, arr);
         sim.schedule_at(arr, W::from(Event::WriteAck { op }));
     }
 
@@ -793,7 +829,9 @@ impl Cluster {
             .hw
             .cpu
             .acquire(sim.now(), self.config.costs.reconcile_us);
-        let (respond_now, done, ts) = {
+        self.tracer
+            .record(op, Stage::Reconcile, coord.0, sim.now(), t1);
+        let (respond_now, done, ts, fanout_at) = {
             let Some(p) = self.pending.get_mut(&op) else {
                 return;
             };
@@ -805,9 +843,11 @@ impl Cluster {
             if respond_now {
                 w.responded = true;
             }
-            (respond_now, w.acks >= w.expected, w.ts)
+            (respond_now, w.acks >= w.expected, w.ts, w.fanout_at)
         };
         if respond_now {
+            self.tracer
+                .record(op, Stage::QuorumWait, coord.0, fanout_at, sim.now());
             self.respond(sim, op, coord, t1, OpResult::Written { ts });
         }
         if done {
@@ -827,19 +867,23 @@ impl Cluster {
         }
         let costs = self.config.costs;
         let service = self.service(sim, costs.replica_read_us);
-        let (cell, t2) = {
+        let (cell, t1, t2) = {
             let n = &mut self.nodes[node.index()];
             let t1 = n.hw.cpu.acquire(sim.now(), service);
             let res = n.lsm.get(&key);
             let t2 = n.charge_io_plan(t1, &res.io);
-            (res.cell, t2)
+            (res.cell, t1, t2)
         };
+        self.tracer
+            .record(op, Stage::ReplicaWork, node.0, sim.now(), t1);
+        self.tracer.record(op, Stage::DiskIo, node.0, t1, t2);
         let Some(p) = self.pending.get(&op) else {
             return;
         };
         let coord = p.coordinator;
         let bytes = self.cell_bytes(&cell);
         let arr = self.net_to(node, coord, bytes, t2);
+        self.tracer.record(op, Stage::ReplicaRpc, node.0, t2, arr);
         sim.schedule_at(arr, W::from(Event::ReadReturn { op, node, cell }));
     }
 
@@ -859,7 +903,9 @@ impl Cluster {
             .hw
             .cpu
             .acquire(sim.now(), self.config.costs.reconcile_us);
-        let (respond_now, winner_for_client, finished, repairs) = {
+        self.tracer
+            .record(op, Stage::Reconcile, coord.0, sim.now(), t1);
+        let (respond_now, winner_for_client, finished, repairs, fanout_at) = {
             let Some(p) = self.pending.get_mut(&op) else {
                 return;
             };
@@ -906,18 +952,32 @@ impl Cluster {
                     // Count exactly once per read that repaired something.
                     self.metrics.repair_writes += repairs.len() as u64;
                 }
-                (respond_now, winner_for_client, true, {
-                    let w = winner;
-                    repairs
-                        .into_iter()
-                        .map(|n| (n, w.clone().expect("winner exists if repairs do")))
-                        .collect::<Vec<_>>()
-                })
+                (
+                    respond_now,
+                    winner_for_client,
+                    true,
+                    {
+                        let w = winner;
+                        repairs
+                            .into_iter()
+                            .map(|n| (n, w.clone().expect("winner exists if repairs do")))
+                            .collect::<Vec<_>>()
+                    },
+                    r.fanout_at,
+                )
             } else {
-                (respond_now, winner_for_client, false, Vec::new())
+                (
+                    respond_now,
+                    winner_for_client,
+                    false,
+                    Vec::new(),
+                    r.fanout_at,
+                )
             }
         };
         if respond_now {
+            self.tracer
+                .record(op, Stage::QuorumWait, coord.0, fanout_at, sim.now());
             let client_cell = winner_for_client.filter(|c| !c.is_tombstone());
             // Blocked repair: if this response closes a fan-out that found
             // stale replicas, the client also waits for the repair
@@ -927,6 +987,8 @@ impl Cluster {
             } else {
                 t1
             };
+            self.tracer
+                .record(op, Stage::RepairBlock, coord.0, t1, respond_at);
             self.respond(sim, op, coord, respond_at, OpResult::Value(client_cell));
         }
         if finished {
@@ -964,7 +1026,7 @@ impl Cluster {
         }
         let costs = self.config.costs;
         let service = self.service(sim, costs.replica_read_us);
-        let (rows, exhausted, t3) = {
+        let (rows, exhausted, t1, t2, t3) = {
             let n = &mut self.nodes[node.index()];
             let t1 = n.hw.cpu.acquire(sim.now(), service);
             let res = n.lsm.scan(&start, limit);
@@ -975,17 +1037,22 @@ impl Cluster {
             }
             let exhausted = rows.len() < limit;
             let t3 = n.hw.cpu.acquire(t2, costs.scan_row_us * rows.len() as u64);
-            (rows, exhausted, t3)
+            (rows, exhausted, t1, t2, t3)
         };
         if !count {
             return; // repair probe: the load was the point
         }
+        self.tracer
+            .record(op, Stage::ReplicaWork, node.0, sim.now(), t1);
+        self.tracer.record(op, Stage::DiskIo, node.0, t1, t2);
+        self.tracer.record(op, Stage::ScanRows, node.0, t2, t3);
         let Some(p) = self.pending.get(&op) else {
             return;
         };
         let coord = p.coordinator;
         let bytes = self.rows_bytes(&rows);
         let arr = self.net_to(node, coord, bytes, t3);
+        self.tracer.record(op, Stage::ReplicaRpc, node.0, t3, arr);
         sim.schedule_at(
             arr,
             W::from(Event::ScanReturn {
@@ -1013,6 +1080,8 @@ impl Cluster {
             .hw
             .cpu
             .acquire(sim.now(), self.config.costs.reconcile_us);
+        self.tracer
+            .record(op, Stage::Reconcile, coord.0, sim.now(), t1);
         enum Next {
             Wait,
             Respond(Vec<(Key, Cell)>),
@@ -1034,6 +1103,8 @@ impl Cluster {
             if s.received_this_round < s.needed_this_round {
                 Next::Wait
             } else {
+                self.tracer
+                    .record(op, Stage::QuorumWait, coord.0, s.round_started, sim.now());
                 // Round complete: reconcile this range across its replicas.
                 let sources = std::mem::take(&mut s.partials);
                 let merged = storage::merge::merge_entries(sources, false);
@@ -1097,6 +1168,8 @@ impl Cluster {
         if !responded {
             self.metrics.timeouts += 1;
             let at = sim.now() + self.config.profile.nic.prop_us;
+            self.tracer
+                .record(op, Stage::RespSend, p.coordinator.0, sim.now(), at);
             sim.schedule_at(
                 at,
                 W::from(Event::Deliver {

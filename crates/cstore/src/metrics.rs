@@ -36,48 +36,4 @@ impl Metrics {
     pub fn new() -> Self {
         Self::default()
     }
-
-    /// Difference against an earlier snapshot (for measuring a window).
-    pub fn since(&self, earlier: &Metrics) -> Metrics {
-        Metrics {
-            reads: self.reads - earlier.reads,
-            writes: self.writes - earlier.writes,
-            scans: self.scans - earlier.scans,
-            unavailable: self.unavailable - earlier.unavailable,
-            timeouts: self.timeouts - earlier.timeouts,
-            digest_mismatches: self.digest_mismatches - earlier.digest_mismatches,
-            repair_fanouts: self.repair_fanouts - earlier.repair_fanouts,
-            repair_writes: self.repair_writes - earlier.repair_writes,
-            hints_stored: self.hints_stored - earlier.hints_stored,
-            hints_replayed: self.hints_replayed - earlier.hints_replayed,
-            flushes: self.flushes - earlier.flushes,
-            compactions: self.compactions - earlier.compactions,
-            gc_pauses: self.gc_pauses - earlier.gc_pauses,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn since_subtracts_fieldwise() {
-        let early = Metrics {
-            reads: 10,
-            repair_writes: 2,
-            ..Metrics::new()
-        };
-        let late = Metrics {
-            reads: 25,
-            repair_writes: 7,
-            writes: 3,
-            ..Metrics::new()
-        };
-        let d = late.since(&early);
-        assert_eq!(d.reads, 15);
-        assert_eq!(d.repair_writes, 5);
-        assert_eq!(d.writes, 3);
-        assert_eq!(d.scans, 0);
-    }
 }

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use dfs::DfsCluster;
+use obs::{Stage, Tracer};
 use simkit::{NodeHw, NodeId, Sim, SimRng, SimTime};
 use storage::types::entry_encoded_len;
 use storage::{Cell, Completion, Key, OpError, OpResult, StoreOp};
@@ -26,7 +27,9 @@ struct WalState {
     file: dfs::FileId,
     pipeline: Vec<NodeId>,
     inflight: bool,
-    waiting: Vec<u64>,
+    /// Queued writers: `(token, enqueue time)` — the time marks where the
+    /// op's WAL-queue stage starts.
+    waiting: Vec<(u64, SimTime)>,
     waiting_bytes: u64,
     block_bytes: u64,
 }
@@ -60,6 +63,7 @@ pub struct Cluster {
     bg_backlog: Vec<u64>,
     bg_active: Vec<bool>,
     pauses_started: bool,
+    tracer: Tracer,
 }
 
 impl Cluster {
@@ -108,6 +112,7 @@ impl Cluster {
             bg_backlog: vec![0; servers_len],
             bg_active: vec![false; servers_len],
             pauses_started: false,
+            tracer: Tracer::new(),
         }
     }
 
@@ -178,6 +183,12 @@ impl Cluster {
     /// Behaviour counters.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The span tracer (disabled by default; the driver enables it and
+    /// registers which tokens to record).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// A server's hardware (utilization reports).
@@ -315,6 +326,8 @@ impl Cluster {
             _ => self.overhead(),
         };
         let at = self.client_delivery(from, bytes, start);
+        self.tracer
+            .record(token, Stage::RespSend, from.0, start, at);
         if let Some(p) = self.pending.get_mut(&token) {
             p.responded = true;
         }
@@ -323,8 +336,17 @@ impl Cluster {
 
     /// Push `bytes` through a replication pipeline starting at `start`:
     /// every hop pays CPU and background log-disk bandwidth; the return value
-    /// is when the final in-memory acknowledgement reaches the head.
-    fn pipeline_round_trip(&mut self, pipeline: &[NodeId], bytes: u64, start: SimTime) -> SimTime {
+    /// is when the final in-memory acknowledgement reaches the head. When
+    /// `hops_out` is given, each inter-node hop's `(node, start, end)`
+    /// interval is appended to it (trace assembly only — no behaviour
+    /// depends on it).
+    fn pipeline_round_trip(
+        &mut self,
+        pipeline: &[NodeId],
+        bytes: u64,
+        start: SimTime,
+        mut hops_out: Option<&mut Vec<(u32, SimTime, SimTime)>>,
+    ) -> SimTime {
         let hop_us = self.config.costs.wal_hop_us;
         let prop = self.config.profile.nic.prop_us;
         let mut t = start;
@@ -334,6 +356,7 @@ impl Cluster {
             if !self.is_up(n) {
                 continue; // HDFS drops dead pipeline members
             }
+            let hop_start = t;
             if let Some(p) = prev {
                 let tx = self.servers[p.index()].nic.tx(t, bytes);
                 let arr = tx + prop;
@@ -343,6 +366,11 @@ impl Cluster {
             t = self.servers[n.index()].cpu.acquire(t, hop_us);
             // Log bytes reach this replica's disk asynchronously.
             self.servers[n.index()].disk.seq_write(t, bytes);
+            if prev.is_some() {
+                if let Some(out) = hops_out.as_deref_mut() {
+                    out.push((n.0, hop_start, t));
+                }
+            }
             prev = Some(n);
         }
         // Acks ripple back through the chain.
@@ -380,6 +408,8 @@ impl Cluster {
         let bytes = self.overhead() + op.key().len() as u64;
         let arr = sim.now() + self.config.profile.nic.prop_us;
         let rx = self.servers[server.index()].nic.rx(arr, bytes);
+        self.tracer
+            .record(token, Stage::ClientSend, server.0, sim.now(), rx);
         self.pending.insert(
             token,
             Pending {
@@ -429,6 +459,8 @@ impl Cluster {
             if n.is_up() {
                 self.metrics.gc_pauses += 1;
                 let now = sim.now();
+                self.tracer
+                    .record_bg(Stage::GcPause, server.0, now, now + dur);
                 for _ in 0..n.cpu.servers() {
                     n.cpu.acquire(now, dur);
                 }
@@ -456,6 +488,8 @@ impl Cluster {
         }
         let service = self.service(sim, self.config.costs.server_us);
         let t1 = self.servers[server.index()].cpu.acquire(sim.now(), service);
+        self.tracer
+            .record(op, Stage::ServerCpu, server.0, sim.now(), t1);
         match kind {
             StoreOp::Read { key } => {
                 self.metrics.reads += 1;
@@ -497,7 +531,9 @@ impl Cluster {
     ) -> SimTime {
         let server = self.regions.get(idx).server;
         let service = self.service(sim, self.config.costs.read_us);
+        let t0 = t1;
         let t1 = self.servers[server.index()].cpu.acquire(t1, service);
+        self.tracer.record(op, Stage::ServerCpu, server.0, t0, t1);
         let remote = self.region_remote_source(idx);
         let (cell, plan) = {
             let region = self.regions.get_mut(idx);
@@ -535,6 +571,7 @@ impl Cluster {
                 _ => {}
             }
         }
+        self.tracer.record(op, Stage::DiskIo, server.0, t1, t);
         let client_cell = cell.filter(|c| !c.is_tombstone());
         self.respond(sim, op, server, t, OpResult::Value(client_cell));
         t
@@ -574,7 +611,7 @@ impl Cluster {
             }
         };
         let wal = &mut self.wals[server.index()];
-        wal.waiting.push(op);
+        wal.waiting.push((op, t1));
         wal.waiting_bytes += bytes;
         if !wal.inflight {
             self.start_wal_group(sim, server, t1);
@@ -594,7 +631,19 @@ impl Cluster {
         };
         self.metrics.wal_groups += 1;
         self.metrics.wal_entries += group.len() as u64;
-        let done = self.pipeline_round_trip(&pipeline, bytes, t);
+        // Per-hop spans are collected only when some group member is traced;
+        // the collection is bookkeeping, never behaviour.
+        let want_hops =
+            self.tracer.enabled() && group.iter().any(|&(op, _)| self.tracer.watching(op));
+        let mut hops: Vec<(u32, SimTime, SimTime)> = Vec::new();
+        let done = self.pipeline_round_trip(&pipeline, bytes, t, want_hops.then_some(&mut hops));
+        for &(op, enq) in &group {
+            self.tracer.record(op, Stage::WalQueue, server.0, enq, t);
+            self.tracer.record(op, Stage::WalCommit, server.0, t, done);
+            for &(node, hs, he) in &hops {
+                self.tracer.record(op, Stage::PipelineHop, node, hs, he);
+            }
+        }
         // Roll the WAL block when it fills (a fresh HDFS block and possibly
         // a fresh pipeline).
         if self.wals[server.index()].block_bytes >= self.config.wal_block_bytes {
@@ -606,6 +655,7 @@ impl Cluster {
             wal.block_bytes = 0;
             self.metrics.wal_blocks_rolled += 1;
         }
+        let group: Vec<u64> = group.into_iter().map(|(op, _)| op).collect();
         sim.schedule_at(done, W::from(Event::WalFlushDone { server, group }));
     }
 
@@ -630,6 +680,7 @@ impl Cluster {
                 _ => continue,
             };
             let t_apply = self.servers[server.index()].cpu.acquire(now, apply_us);
+            self.tracer.record(op, Stage::Apply, server.0, now, t_apply);
             let idx = self.regions.region_of(&key);
             self.regions.get_mut(idx).lsm.put(key, cell);
             self.maintain_region(sim, idx, t_apply);
@@ -734,6 +785,8 @@ impl Cluster {
         let t1 = self.servers[server.index()]
             .cpu
             .acquire(sim.now(), costs.read_us);
+        self.tracer
+            .record(op, Stage::ServerCpu, server.0, sim.now(), t1);
         let (rows, plan) = {
             let region = self.regions.get_mut(idx);
             let res = region.lsm.scan(&start, remaining);
@@ -751,9 +804,12 @@ impl Cluster {
                 _ => {}
             }
         }
+        let t_io = t;
+        self.tracer.record(op, Stage::DiskIo, server.0, t1, t_io);
         let t = self.servers[server.index()]
             .cpu
             .acquire(t, costs.scan_row_us * rows.len() as u64);
+        self.tracer.record(op, Stage::ScanRows, server.0, t_io, t);
         let exhausted = rows.len() < remaining;
         let (done, next_start) = {
             let p = self.pending.get_mut(&op).expect("checked above");
@@ -780,6 +836,9 @@ impl Cluster {
             let next_server = self.regions.get(idx + 1).server;
             let arr = back + self.config.profile.nic.prop_us;
             let rx = self.servers[next_server.index()].nic.rx(arr, leg_bytes);
+            self.tracer.record(op, Stage::RespSend, server.0, t, back);
+            self.tracer
+                .record(op, Stage::ClientSend, next_server.0, back, rx);
             sim.schedule_at(
                 rx,
                 W::from(Event::ScanExec {
@@ -800,6 +859,8 @@ impl Cluster {
         }
         self.pending.remove(&op);
         let at = sim.now() + self.config.profile.nic.prop_us;
+        self.tracer
+            .record(op, Stage::RespSend, obs::CLIENT_NODE, sim.now(), at);
         sim.schedule_at(
             at,
             W::from(Event::Deliver {

@@ -1,0 +1,249 @@
+//! Critical-path extraction: decompose an op's measured latency into a
+//! gap-free sequence of stage segments.
+
+use crate::span::{StageSpan, CLIENT_NODE};
+use crate::stage::Stage;
+use simkit::SimTime;
+
+/// One critical-path segment. Segments tile `[issued, settled)` exactly:
+/// each starts where the previous ends, so segment lengths sum to the
+/// op's measured latency by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// The stage the op was in during this segment.
+    pub stage: Stage,
+    /// The node the stage ran on ([`CLIENT_NODE`] for driver-side and
+    /// synthetic segments).
+    pub node: u32,
+    /// Segment start, virtual µs.
+    pub start: SimTime,
+    /// Segment end, virtual µs.
+    pub end: SimTime,
+}
+
+impl Segment {
+    /// Segment length in µs.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True for degenerate segments (never produced by extraction).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Extract the critical path of an op that was issued at `issued` and
+/// settled at `settled`, from its recorded spans.
+///
+/// The walk runs backwards from `settled`: at each cursor it picks the
+/// span that *finished last* at or before the cursor (the stage whose
+/// completion let the op progress), emits it, and jumps the cursor to that
+/// span's start. Ties on end time prefer the **widest** span (smallest
+/// start) — an enclosing wait like [`Stage::QuorumWait`] subsumes the
+/// per-replica spans nested inside it — then lowest stage discriminant,
+/// then lowest node id, so extraction is fully deterministic. Cursor gaps
+/// no span covers become synthetic [`Stage::Wait`] segments, which keeps
+/// the invariant exact:
+///
+/// `sum(segment.len()) == settled - issued`, in virtual time, always.
+pub fn critical_path(issued: SimTime, settled: SimTime, spans: &[StageSpan]) -> Vec<Segment> {
+    let mut path: Vec<Segment> = Vec::new();
+    let mut cursor = settled;
+    while cursor > issued {
+        // The span finishing last at or before the cursor, with some of its
+        // extent inside (issued, cursor]. Preference order: latest end,
+        // then widest (earliest start), then lowest stage, then lowest node.
+        let key = |s: &StageSpan| (std::cmp::Reverse(s.end), s.start, s.stage, s.node);
+        let mut best: Option<&StageSpan> = None;
+        for s in spans {
+            if s.end > cursor || s.end <= issued || s.end <= s.start {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => key(s) < key(b),
+            };
+            if better {
+                best = Some(s);
+            }
+        }
+        match best {
+            None => {
+                // Nothing recorded before the cursor: the remainder is
+                // uninstrumented driver/queue time.
+                path.push(Segment {
+                    stage: Stage::Wait,
+                    node: CLIENT_NODE,
+                    start: issued,
+                    end: cursor,
+                });
+                cursor = issued;
+            }
+            Some(s) => {
+                if s.end < cursor {
+                    path.push(Segment {
+                        stage: Stage::Wait,
+                        node: CLIENT_NODE,
+                        start: s.end,
+                        end: cursor,
+                    });
+                }
+                let start = s.start.max(issued);
+                path.push(Segment {
+                    stage: s.stage,
+                    node: s.node,
+                    start,
+                    end: s.end,
+                });
+                cursor = start;
+            }
+        }
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn span(stage: Stage, node: u32, start: u64, end: u64) -> StageSpan {
+        StageSpan {
+            op: 1,
+            stage,
+            node,
+            start,
+            end,
+        }
+    }
+
+    fn total(path: &[Segment]) -> u64 {
+        path.iter().map(Segment::len).sum()
+    }
+
+    fn assert_tiles(path: &[Segment], issued: u64, settled: u64) {
+        assert_eq!(total(path), settled - issued);
+        assert_eq!(path.first().map(|s| s.start), Some(issued));
+        assert_eq!(path.last().map(|s| s.end), Some(settled));
+        for w in path.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "path has a gap or overlap");
+        }
+    }
+
+    #[test]
+    fn empty_spans_yield_one_wait_segment() {
+        let path = critical_path(100, 250, &[]);
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].stage, Stage::Wait);
+        assert_tiles(&path, 100, 250);
+    }
+
+    #[test]
+    fn sequential_stages_chain_exactly() {
+        let spans = vec![
+            span(Stage::ClientSend, CLIENT_NODE, 0, 10),
+            span(Stage::ServerCpu, 2, 10, 25),
+            span(Stage::WalCommit, 2, 25, 80),
+            span(Stage::RespSend, 2, 80, 95),
+        ];
+        let path = critical_path(0, 95, &spans);
+        assert_eq!(
+            path.iter().map(|s| s.stage).collect::<Vec<_>>(),
+            vec![
+                Stage::ClientSend,
+                Stage::ServerCpu,
+                Stage::WalCommit,
+                Stage::RespSend
+            ]
+        );
+        assert_tiles(&path, 0, 95);
+    }
+
+    #[test]
+    fn quorum_wait_subsumes_nested_replica_spans() {
+        // Two replica ack hops nested in a QuorumWait that ends with the
+        // second ack arriving: the tie on end=50 must resolve to the wider
+        // QuorumWait, not the inner ReplicaRpc return hop.
+        let spans = vec![
+            span(Stage::QuorumWait, 1, 10, 50),
+            span(Stage::ReplicaRpc, 2, 10, 30),
+            span(Stage::ReplicaRpc, 3, 35, 50),
+            span(Stage::Reconcile, 1, 50, 55),
+        ];
+        let path = critical_path(0, 55, &spans);
+        assert_eq!(
+            path.iter().map(|s| s.stage).collect::<Vec<_>>(),
+            vec![Stage::Wait, Stage::QuorumWait, Stage::Reconcile]
+        );
+        assert_tiles(&path, 0, 55);
+    }
+
+    #[test]
+    fn gaps_between_spans_become_wait() {
+        let spans = vec![
+            span(Stage::ServerCpu, 0, 10, 20),
+            span(Stage::DiskIo, 0, 35, 60),
+        ];
+        let path = critical_path(5, 70, &spans);
+        assert_eq!(
+            path.iter().map(|s| s.stage).collect::<Vec<_>>(),
+            vec![
+                Stage::Wait,
+                Stage::ServerCpu,
+                Stage::Wait,
+                Stage::DiskIo,
+                Stage::Wait
+            ]
+        );
+        assert_tiles(&path, 5, 70);
+    }
+
+    #[test]
+    fn spans_outside_the_window_are_clipped_or_ignored() {
+        let spans = vec![
+            // Ends before issue: ignored.
+            span(Stage::ClientSend, CLIENT_NODE, 0, 90),
+            // Straddles issue: clipped to start at issued.
+            span(Stage::ServerCpu, 1, 80, 120),
+            // Ends after settle: ignored (can't be on the path to settle).
+            span(Stage::RespSend, 1, 130, 300),
+            span(Stage::DiskIo, 1, 120, 150),
+        ];
+        let path = critical_path(100, 150, &spans);
+        assert_eq!(
+            path.iter().map(|s| s.stage).collect::<Vec<_>>(),
+            vec![Stage::ServerCpu, Stage::DiskIo]
+        );
+        assert_tiles(&path, 100, 150);
+    }
+
+    #[test]
+    fn duplicate_intervals_pick_lowest_stage_then_node() {
+        let spans = vec![
+            span(Stage::Reconcile, 4, 10, 20),
+            span(Stage::ServerCpu, 9, 10, 20),
+            span(Stage::ServerCpu, 2, 10, 20),
+        ];
+        let path = critical_path(10, 20, &spans);
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].stage, Stage::ServerCpu);
+        assert_eq!(path[0].node, 2);
+    }
+
+    #[test]
+    fn extraction_is_order_independent() {
+        let mut spans = vec![
+            span(Stage::ClientSend, CLIENT_NODE, 0, 12),
+            span(Stage::QuorumWait, 0, 14, 60),
+            span(Stage::ReplicaRpc, 1, 14, 60),
+            span(Stage::RespSend, 0, 62, 70),
+        ];
+        let a = critical_path(0, 70, &spans);
+        spans.reverse();
+        let b = critical_path(0, 70, &spans);
+        assert_eq!(a, b);
+        assert_tiles(&a, 0, 70);
+    }
+}

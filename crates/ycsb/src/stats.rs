@@ -104,11 +104,23 @@ impl Histogram {
     }
 
     /// The `q`-quantile (`0.0..=1.0`) as a bucket-representative value.
+    ///
+    /// Degenerate inputs resolve exactly rather than to a bucket floor:
+    /// an empty histogram returns 0, a single-sample histogram returns
+    /// its one value, `q <= 0` returns the true minimum and `q >= 1` the
+    /// true maximum (both tracked exactly). The general bucketed path is
+    /// untouched.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if self.count == 1 || q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -477,6 +489,64 @@ mod tests {
         assert_eq!(h.max(), 127);
         assert_eq!(h.quantile(0.0), 0);
         assert_eq!(h.quantile(1.0), 127);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        // A lone sample far above the linear bucket range must come back
+        // exactly, not as its bucket's floor.
+        let mut h = Histogram::new();
+        h.record(1_000_003);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 1_000_003, "q={q}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_q_pins_to_exact_extremes() {
+        let mut h = Histogram::new();
+        h.record(130);
+        h.record(123_456_789);
+        assert_eq!(h.quantile(0.0), 130);
+        assert_eq!(h.quantile(-3.0), 130);
+        assert_eq!(h.quantile(1.0), 123_456_789);
+        assert_eq!(h.quantile(7.0), 123_456_789);
+    }
+
+    #[test]
+    fn known_distribution_pins_p50_p95_p99() {
+        // 1..=100 sits in the exact linear buckets, so percentile ranks
+        // map straight to values: rank ceil(q*100).
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p95(), 95);
+        assert_eq!(h.p99(), 99);
+        assert_eq!(h.quantile(0.01), 1);
+        // A skewed known distribution: ninety 10s and ten 100s.
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(100);
+        }
+        assert_eq!(h.p50(), 10);
+        assert_eq!(h.quantile(0.90), 10);
+        assert_eq!(h.p95(), 100);
+        assert_eq!(h.p99(), 100);
     }
 
     #[test]

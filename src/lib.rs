@@ -14,6 +14,8 @@
 //! * [`cstore`] — the Cassandra analog.
 //! * [`faults`] — the deterministic fault-injection subsystem (declarative
 //!   crash/recover/degradation plans the driver replays in virtual time).
+//! * [`obs`] — deterministic per-op span tracing: stage taxonomy,
+//!   critical-path extraction, and trace export (zero-cost when disabled).
 //! * [`ycsb`] — the YCSB-analog workload generator and client.
 //! * [`bench_core`] — the paper's benchmark methodology (micro/stress/
 //!   consistency experiments, sweeps, report rendering).
@@ -28,6 +30,7 @@ pub use cstore;
 pub use dfs;
 pub use faults;
 pub use hstore;
+pub use obs;
 pub use simkit;
 pub use storage;
 pub use ycsb;
