@@ -1,0 +1,156 @@
+//! BENCH_006: the engine-speed trajectory of the event core.
+//!
+//! Measures queue-churn events/sec (calendar wheel vs reference binary
+//! heap at several pending-event populations) and whole-driver runs on
+//! either backend, then writes `results/BENCH_006.json`. With `--gate`
+//! (what CI passes), the new calendar churn rate is compared against the
+//! committed baseline's `gate_events_per_sec` and the process exits 1 on
+//! a >20% regression.
+//!
+//! `--quick` shrinks populations and op counts for the CI smoke run.
+
+use std::process::ExitCode;
+
+use bench_core::perf::{self, PerfReport};
+use bench_core::setup::StoreKind;
+use simkit::QueueKind;
+
+/// Fraction of the baseline events/sec the new measurement must reach.
+const GATE_FLOOR: f64 = 0.8;
+
+fn main() -> ExitCode {
+    let quick = bench::quick_requested();
+    let gate = std::env::args().any(|a| a == "--gate");
+    let out_path = bench::results_dir().join("BENCH_006.json");
+    let baseline = std::fs::read_to_string(&out_path).ok();
+
+    let populations: &[usize] = &[1_000, 100_000, 1_000_000];
+    let churn_events: u64 = if quick { 1_000_000 } else { 4_000_000 };
+
+    let mut report = PerfReport {
+        quick,
+        churn: Vec::new(),
+        driver: Vec::new(),
+        peak_rss_bytes: 0,
+    };
+
+    // Best-of-3 per point: wall-clock microbenches on shared machines see
+    // scheduler and frequency noise well above the 20% gate threshold; the
+    // best sample tracks the machine's actual capability.
+    for &pending in populations {
+        for kind in [QueueKind::Heap, QueueKind::Calendar] {
+            let s = (0..3)
+                .map(|_| perf::queue_churn(kind, pending, churn_events))
+                .max_by(|a, b| a.events_per_sec().total_cmp(&b.events_per_sec()))
+                .unwrap_or_else(|| perf::queue_churn(kind, pending, churn_events));
+            eprintln!(
+                "perfbench: churn {:>8} pending {:?}: {:.2}M events/s ({:.2}s, best of 3)",
+                pending,
+                kind,
+                s.events_per_sec() / 1e6,
+                s.wall.as_secs_f64(),
+            );
+            report.churn.push(s);
+        }
+    }
+
+    for store in [StoreKind::HStore, StoreKind::CStore] {
+        for kind in [QueueKind::Heap, QueueKind::Calendar] {
+            let s = (0..3)
+                .map(|_| perf::driver_run(store, kind, quick))
+                .max_by(|a, b| a.events_per_sec().total_cmp(&b.events_per_sec()))
+                .unwrap_or_else(|| perf::driver_run(store, kind, quick));
+            eprintln!(
+                "perfbench: driver {} {:?}: {} events, {:.2}M events/s, {:.0} sim-ops/s ({:.2}s, best of 3)",
+                store.short(),
+                kind,
+                s.events,
+                s.events_per_sec() / 1e6,
+                s.ops_per_sec(),
+                s.wall.as_secs_f64(),
+            );
+            report.driver.push(s);
+        }
+    }
+
+    report.peak_rss_bytes = perf::peak_rss_bytes();
+
+    if let Some(speedup) = report.churn_speedup() {
+        println!("perfbench: calendar over heap at 1M pending: {speedup:.1}x events/sec");
+    }
+    // Both backends dispatch the same virtual schedule, so driver events
+    // match exactly; wall-clock is where they differ.
+    for store in [StoreKind::HStore, StoreKind::CStore] {
+        let eps = |kind: QueueKind| {
+            report
+                .driver
+                .iter()
+                .find(|d| d.store == store && d.backend == kind)
+                .map(|d| d.events_per_sec())
+        };
+        if let (Some(cal), Some(heap)) = (eps(QueueKind::Calendar), eps(QueueKind::Heap)) {
+            if heap > 0.0 {
+                println!(
+                    "perfbench: {} driver calendar over heap: {:.2}x",
+                    store.short(),
+                    cal / heap
+                );
+            }
+        }
+    }
+
+    let verdict = gate_verdict(gate, baseline.as_deref(), &report);
+
+    let json = report.to_json();
+    if let Err(e) = std::fs::create_dir_all(bench::results_dir()) {
+        eprintln!("perfbench: cannot create results dir: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("perfbench: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("perfbench: wrote {}", out_path.display());
+
+    match verdict {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Compare the fresh measurement against the committed baseline (when
+/// gating is requested and a baseline exists). The baseline is read before
+/// the report overwrites the file.
+fn gate_verdict(gate: bool, baseline: Option<&str>, report: &PerfReport) -> Result<String, String> {
+    if !gate {
+        return Ok("perfbench: gate not requested (--gate to enable)".to_owned());
+    }
+    let Some(base) = baseline else {
+        return Ok("perfbench: no committed baseline; gate passes vacuously".to_owned());
+    };
+    let Some(base_eps) = perf::extract_number(base, "gate_events_per_sec") else {
+        return Ok(
+            "perfbench: baseline has no gate_events_per_sec; gate passes vacuously".to_owned(),
+        );
+    };
+    let now_eps = report.gate_events_per_sec();
+    let floor = base_eps * GATE_FLOOR;
+    if now_eps < floor {
+        Err(format!(
+            "perfbench: REGRESSION: calendar churn {:.0} events/s is below {:.0} \
+             (80% of committed baseline {:.0})",
+            now_eps, floor, base_eps
+        ))
+    } else {
+        Ok(format!(
+            "perfbench: gate passed: {:.0} events/s vs baseline {:.0} (floor {:.0})",
+            now_eps, base_eps, floor
+        ))
+    }
+}

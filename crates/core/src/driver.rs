@@ -12,9 +12,12 @@
 use std::collections::HashMap;
 
 use faults::{FaultInjector, FaultPlan, FaultTarget};
-use simkit::{Sim, SimTime};
+use simkit::{OpKey, Sim, SimTime, Slab};
 use storage::{Key, OpKind, OpResult, StoreOp};
-use ycsb::{encode_key, KeySpace, RunMetrics, StalenessTracker, Throttle, ValuePool, WorkloadSpec};
+use ycsb::{
+    encode_key, KeyInterner, KeySpace, RunMetrics, StalenessTracker, Throttle, ValuePool,
+    WorkloadSpec,
+};
 
 use crate::resilience::{GiveUpReason, RetryDecision, RetryPolicy};
 use crate::store::{DriverEvent, SimStore};
@@ -92,6 +95,9 @@ pub struct RunOutcome {
     pub stale_fraction: f64,
     /// Virtual time the whole run took.
     pub sim_duration_us: u64,
+    /// Simulation events dispatched over the whole run (driver wake-ups
+    /// plus store-internal events) — the denominator of engine speed.
+    pub events_dispatched: u64,
     /// Fault-plan events actually applied before the run finished.
     pub faults_injected: u64,
     /// Operations still tracked by the client when the run ended. Zero for
@@ -119,10 +125,12 @@ pub fn load<S: SimStore>(store: &mut S, records: u64, value_len: usize, seed: u6
     store.warm_caches();
 }
 
-/// Client-side state of one *logical* operation, keyed by its first
-/// attempt's token. Retries and hedges submit further attempts whose tokens
-/// map back here; the op settles (records one latency or one error) exactly
-/// once, when an attempt completes and the policy stops.
+/// Client-side state of one *logical* operation, stored in a slab and
+/// addressed by [`OpKey`]. Retries and hedges submit further attempts whose
+/// tokens map back to the same slab slot; the op settles (records one
+/// latency or one error) exactly once, when an attempt completes and the
+/// policy stops. The RMW write phase re-inserts the context so read-phase
+/// attempt keys go stale, exactly like the old token re-keying did.
 struct OpCtx {
     thread: usize,
     kind: OpKind,
@@ -146,6 +154,31 @@ struct OpCtx {
     hedged: bool,
     /// The hedge attempt's token, to spot a speculative win at drain.
     hedge_token: Option<u64>,
+    /// Logical trace id (the first attempt's token) when this op is being
+    /// traced; `None` for unsampled ops.
+    trace_id: Option<u64>,
+}
+
+/// Dense map from attempt token to its op's slab key. Tokens are issued
+/// sequentially, so a `Vec` indexed by token replaces a hash lookup on the
+/// completion drain path; [`OpKey::NONE`] marks consumed/unknown entries.
+struct AttemptTable(Vec<OpKey>);
+
+impl AttemptTable {
+    fn set(&mut self, token: u64, key: OpKey) {
+        let i = token as usize;
+        if self.0.len() <= i {
+            self.0.resize(i + 1, OpKey::NONE);
+        }
+        self.0[i] = key;
+    }
+
+    fn take(&mut self, token: u64) -> OpKey {
+        match self.0.get_mut(token as usize) {
+            Some(slot) => std::mem::replace(slot, OpKey::NONE),
+            None => OpKey::NONE,
+        }
+    }
 }
 
 /// Run one benchmark against a loaded store. Faults listed in
@@ -161,17 +194,21 @@ where
     let mut sim: Sim<DriverEvent<<S as SimStore>::Event>> = Sim::new(cfg.seed);
     let mut dist = cfg.workload.request_distribution(cfg.records);
     let mut keyspace = KeySpace::new(cfg.records);
+    // Skewed request distributions hammer a small hot set; intern their
+    // encoded keys so repeats are a slot probe + refcount bump. Bounded at
+    // 64Ki slots (or the record count when smaller).
+    let mut interner = KeyInterner::new((cfg.records as usize).min(1 << 16));
     let pool = ValuePool::new(cfg.value_len, 4);
     let mut throttles: Vec<Throttle> = (0..cfg.threads)
         .map(|_| Throttle::for_target(cfg.target_ops_per_sec, cfg.threads))
         .collect();
     let mut tracker = StalenessTracker::new();
     let mut metrics = RunMetrics::new();
-    // Logical ops keyed by their first attempt's token ...
-    let mut ctxs: HashMap<u64, OpCtx> = HashMap::new();
-    // ... and every outstanding attempt token mapped back to its op. An
-    // attempt whose op has already settled is a cancelled hedge loser.
-    let mut attempt_of: HashMap<u64, u64> = HashMap::new();
+    // Logical op contexts, slab-allocated ...
+    let mut ctxs: Slab<OpCtx> = Slab::new();
+    // ... and every outstanding attempt token mapped back to its op's slab
+    // key. An attempt whose key has gone stale is a cancelled hedge loser.
+    let mut attempt_of = AttemptTable(Vec::new());
     let mut next_token: u64 = 1;
     let mut issued: u64 = 0;
     let mut completed: u64 = 0;
@@ -221,7 +258,7 @@ where
                 let now = sim.now();
                 let (op, key, expected_ts, rmw) = match kind {
                     OpKind::Read | OpKind::ReadModifyWrite => {
-                        let key = encode_key(dist.next(sim.rng()));
+                        let key = interner.key(dist.next(sim.rng()));
                         let expected = tracker.expected(&key);
                         (
                             StoreOp::Read { key: key.clone() },
@@ -231,7 +268,7 @@ where
                         )
                     }
                     OpKind::Update => {
-                        let key = encode_key(dist.next(sim.rng()));
+                        let key = interner.key(dist.next(sim.rng()));
                         (
                             StoreOp::Update {
                                 key: key.clone(),
@@ -256,7 +293,7 @@ where
                         )
                     }
                     OpKind::Scan => {
-                        let start = encode_key(dist.next(sim.rng()));
+                        let start = interner.key(dist.next(sim.rng()));
                         let limit = cfg.workload.scan_len(sim.rng());
                         (
                             StoreOp::Scan {
@@ -269,55 +306,56 @@ where
                         )
                     }
                     OpKind::Delete => {
-                        let key = encode_key(dist.next(sim.rng()));
+                        let key = interner.key(dist.next(sim.rng()));
                         (StoreOp::Delete { key: key.clone() }, key, 0, false)
                     }
                 };
-                ctxs.insert(
-                    token,
-                    OpCtx {
-                        thread,
-                        kind,
-                        issued: now,
-                        deadline: cfg.retry.deadline_at(now),
-                        op: op.clone(),
-                        key,
-                        expected_ts,
-                        rmw_read_phase: rmw,
-                        recovered: false,
-                        attempts_total: 1,
-                        retries: 0,
-                        in_flight: 1,
-                        hedged: false,
-                        hedge_token: None,
-                    },
-                );
-                attempt_of.insert(token, token);
-                metrics.resilience_mut().attempts += 1;
                 // Deterministic sampling by 0-based issue index: the same
                 // seed and sampling config always trace the same ops.
-                if tracing && cfg.trace.samples(issued - 1, cfg.seed) {
+                let trace_id = if tracing && cfg.trace.samples(issued - 1, cfg.seed) {
                     trace_of.insert(token, token);
                     store.tracer_mut().watch(token);
-                }
+                    Some(token)
+                } else {
+                    None
+                };
+                let opkey = ctxs.insert(OpCtx {
+                    thread,
+                    kind,
+                    issued: now,
+                    deadline: cfg.retry.deadline_at(now),
+                    op: op.clone(),
+                    key,
+                    expected_ts,
+                    rmw_read_phase: rmw,
+                    recovered: false,
+                    attempts_total: 1,
+                    retries: 0,
+                    in_flight: 1,
+                    hedged: false,
+                    hedge_token: None,
+                    trace_id,
+                });
+                attempt_of.set(token, opkey);
+                metrics.resilience_mut().attempts += 1;
                 store.submit(&mut sim, token, op);
                 // Hedging covers point reads only (including the RMW read
                 // phase); the event is harmless if the op settles first.
                 if cfg.retry.hedges() && matches!(kind, OpKind::Read | OpKind::ReadModifyWrite) {
-                    sim.schedule_in(cfg.retry.hedge_after_us, DriverEvent::Hedge { op: token });
+                    sim.schedule_in(cfg.retry.hedge_after_us, DriverEvent::Hedge { op: opkey });
                 }
             }
             DriverEvent::Retry { op } => {
                 // Scheduled only while its op is pending with nothing in
                 // flight, so the ctx is present; guard anyway.
-                if let Some(ctx) = ctxs.get_mut(&op) {
+                if let Some(ctx) = ctxs.get_mut(op) {
                     let token = next_token;
                     next_token += 1;
                     ctx.attempts_total += 1;
                     ctx.in_flight += 1;
-                    attempt_of.insert(token, op);
+                    attempt_of.set(token, op);
                     metrics.resilience_mut().attempts += 1;
-                    if let Some(&logical) = trace_of.get(&op) {
+                    if let Some(logical) = ctx.trace_id {
                         trace_of.insert(token, logical);
                         store.tracer_mut().watch(token);
                     }
@@ -329,7 +367,7 @@ where
                 // Speculative second read: only if the op is still pending
                 // on its first attempt, is a point read (an RMW may have
                 // moved on to its write phase), and has deadline budget.
-                if let Some(ctx) = ctxs.get_mut(&op) {
+                if let Some(ctx) = ctxs.get_mut(op) {
                     if !ctx.hedged
                         && ctx.in_flight == 1
                         && matches!(ctx.op, StoreOp::Read { .. })
@@ -341,10 +379,10 @@ where
                         ctx.hedge_token = Some(token);
                         ctx.attempts_total += 1;
                         ctx.in_flight += 1;
-                        attempt_of.insert(token, op);
+                        attempt_of.set(token, op);
                         metrics.resilience_mut().hedges += 1;
                         metrics.resilience_mut().attempts += 1;
-                        if let Some(&logical) = trace_of.get(&op) {
+                        if let Some(logical) = ctx.trace_id {
                             trace_of.insert(token, logical);
                             store.tracer_mut().watch(token);
                         }
@@ -362,12 +400,14 @@ where
         }
         // Drain completions produced by this dispatch.
         for c in store.drain_completions() {
-            let Some(opid) = attempt_of.remove(&c.token) else {
+            let opkey = attempt_of.take(c.token);
+            if opkey.is_none() {
                 continue;
-            };
-            let Some(mut ctx) = ctxs.remove(&opid) else {
-                // The op already settled through another attempt: this is
-                // the losing side of a hedge race, cancelled at drain.
+            }
+            let Some(ctx) = ctxs.get_mut(opkey) else {
+                // The op already settled through another attempt (the slab
+                // generation moved on): the losing side of a hedge race,
+                // cancelled at drain.
                 metrics.resilience_mut().hedge_cancelled += 1;
                 continue;
             };
@@ -377,7 +417,6 @@ where
             if let OpResult::Error(e) = &c.result {
                 // A hedge twin is still racing: let it decide the op.
                 if ctx.in_flight > 0 {
-                    ctxs.insert(opid, ctx);
                     continue;
                 }
                 match cfg
@@ -388,9 +427,8 @@ where
                         ctx.retries += 1;
                         ctx.recovered = true;
                         metrics.resilience_mut().retries += 1;
-                        ctxs.insert(opid, ctx);
                         if tracing {
-                            if let Some(&logical) = trace_of.get(&opid) {
+                            if let Some(logical) = ctx.trace_id {
                                 store.tracer_mut().record(
                                     logical,
                                     obs::Stage::RetryBackoff,
@@ -400,7 +438,7 @@ where
                                 );
                             }
                         }
-                        sim.schedule_at(at, DriverEvent::Retry { op: opid });
+                        sim.schedule_at(at, DriverEvent::Retry { op: opkey });
                         continue;
                     }
                     RetryDecision::GiveUp(reason) => {
@@ -422,8 +460,13 @@ where
                 }
                 // RMW read phase: chain the write without finishing the op.
                 // Per-phase retry/hedge state resets; the deadline budget
-                // and recovered flag span the whole logical op.
+                // and recovered flag span the whole logical op. Re-inserting
+                // bumps the slab generation, so any still-racing read-phase
+                // attempt resolves to a stale key (a cancelled hedge loser).
                 if ctx.rmw_read_phase {
+                    let Some(mut ctx) = ctxs.remove(opkey) else {
+                        continue; // unreachable: get_mut above proved it live
+                    };
                     let token = next_token;
                     next_token += 1;
                     let op = StoreOp::Update {
@@ -437,12 +480,13 @@ where
                     ctx.hedge_token = None;
                     ctx.attempts_total += 1;
                     ctx.in_flight = 1;
-                    attempt_of.insert(token, token);
-                    ctxs.insert(token, ctx);
+                    let trace_id = ctx.trace_id;
+                    let newkey = ctxs.insert(ctx);
+                    attempt_of.set(token, newkey);
                     metrics.resilience_mut().attempts += 1;
-                    // The logical op is re-keyed to the write phase's token;
-                    // keep mapping its spans back to the original trace id.
-                    if let Some(&logical) = trace_of.get(&opid) {
+                    // The write phase submits a fresh token; keep mapping
+                    // its spans back to the original trace id.
+                    if let Some(logical) = trace_id {
                         trace_of.insert(token, logical);
                         store.tracer_mut().watch(token);
                     }
@@ -475,8 +519,11 @@ where
                 }
             }
             // The op settles here, exactly once, on success or give-up.
+            let Some(ctx) = ctxs.remove(opkey) else {
+                continue; // unreachable: every path above kept the slot live
+            };
             if tracing {
-                if let Some(&logical) = trace_of.get(&opid) {
+                if let Some(logical) = ctx.trace_id {
                     let ok = !matches!(c.result, OpResult::Error(_));
                     traced_settled.push((logical, ctx.kind, ctx.issued, now, ok));
                 }
@@ -548,6 +595,7 @@ where
             stale as f64 / checked as f64
         },
         sim_duration_us: sim.now(),
+        events_dispatched: sim.dispatched(),
         faults_injected: injector.applied(),
         unsettled_ops: ctxs.len() as u64,
         counters: store.counters(),

@@ -36,6 +36,10 @@
 //!   RF; Cassandra: quorum wait growing with RF and CL).
 //! * [`ablation`] — beyond-paper experiments: read repair on/off,
 //!   commit-log durability modes, node failure/failover.
+//! * [`perf`] — engine-speed measurement (`BENCH_006.json`): queue-churn
+//!   hold-model benchmarks of the calendar queue against the reference
+//!   heap, timed whole-driver runs on either backend, and peak-RSS capture,
+//!   feeding the CI events/sec regression gate.
 //! * [`sla`] — the paper's §6 future work: SLA-based stress specification
 //!   (bisection search for the highest throughput meeting a latency SLA).
 //! * [`sweep`] — the shared experiment engine every module above runs on:
@@ -54,6 +58,7 @@ pub mod decomposition;
 pub mod driver;
 pub mod failure;
 pub mod micro;
+pub mod perf;
 pub mod report;
 pub mod resilience;
 pub mod setup;

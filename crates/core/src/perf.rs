@@ -1,0 +1,372 @@
+//! Engine-speed measurement: the numbers behind `results/BENCH_006.json`.
+//!
+//! The event core is the denominator of every experiment's wall-clock cost,
+//! so this PR pins its speed as a tracked artifact instead of folklore. Two
+//! measurements, both runnable in seconds:
+//!
+//! * [`queue_churn`] — the classic hold model for priority queues: keep a
+//!   fixed population of pending events and repeatedly pop-one/push-one
+//!   with a near-future increment. This isolates the queue itself (the
+//!   calendar wheel vs the reference binary heap) at controlled pending
+//!   counts, with an event payload as fat as the cluster models' enums.
+//! * [`driver_run`] — a whole benchmark run through [`crate::driver::run`]
+//!   against a loaded store, timed end to end, on a chosen queue backend.
+//!   This shows how much of the queue win survives once replica models,
+//!   caches, and metrics share the profile.
+//!
+//! [`PerfReport::to_json`] emits the hand-rolled JSON the CI regression
+//! gate diffs against the committed baseline ([`extract_number`] is the
+//! matching reader — the workspace deliberately has no serde).
+
+use std::time::{Duration, Instant};
+
+use simkit::{EventQueue, QueueKind};
+use ycsb::WorkloadSpec;
+
+use crate::driver::{self, DriverConfig};
+use crate::setup::{build_cstore, build_hstore, Scale, StoreKind};
+use crate::store::SimStore;
+use cstore::Consistency;
+
+/// Queue-churn event payload: sized like the fat end of the cluster event
+/// enums (≈100 bytes), so per-level memcpy cost in the heap is realistic.
+type FatEvent = [u64; 12];
+
+/// One queue-churn measurement.
+#[derive(Debug, Clone)]
+pub struct ChurnSample {
+    /// Which backend ran.
+    pub backend: QueueKind,
+    /// Pending-event population held constant through the run.
+    pub pending: usize,
+    /// Pop/push pairs executed.
+    pub events: u64,
+    /// Wall-clock time for the churn loop (excludes initial fill).
+    pub wall: Duration,
+}
+
+impl ChurnSample {
+    /// Events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        per_sec(self.events, self.wall)
+    }
+}
+
+/// One driver-level measurement: a full benchmark run, timed.
+#[derive(Debug, Clone)]
+pub struct DriverSample {
+    /// Which store ran.
+    pub store: StoreKind,
+    /// Which queue backend ran.
+    pub backend: QueueKind,
+    /// Simulation events dispatched over the run.
+    pub events: u64,
+    /// Client operations completed (warm-up + measured).
+    pub ops: u64,
+    /// Wall-clock time for the run (excludes the functional load).
+    pub wall: Duration,
+}
+
+impl DriverSample {
+    /// Simulation events dispatched per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        per_sec(self.events, self.wall)
+    }
+
+    /// Simulated client operations per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        per_sec(self.ops, self.wall)
+    }
+}
+
+fn per_sec(count: u64, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        count as f64 / secs
+    }
+}
+
+fn backend_name(kind: QueueKind) -> &'static str {
+    match kind {
+        QueueKind::Calendar => "calendar",
+        QueueKind::Heap => "heap",
+    }
+}
+
+/// Hold-model churn: fill the queue to `pending` events, then pop one /
+/// push one `events` times, each push landing a pseudo-random near-future
+/// increment (up to ~2 wheel buckets) after the popped time — the locality
+/// the cluster models actually exhibit. Deterministic: a fixed splitmix64
+/// stream drives the increments, so both backends churn the same schedule.
+pub fn queue_churn(kind: QueueKind, pending: usize, events: u64) -> ChurnSample {
+    let mut q: EventQueue<FatEvent> = EventQueue::with_kind(kind);
+    let mut rng_state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        // splitmix64: cheap, deterministic, dependency-free.
+        rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let payload: FatEvent = [7; 12];
+    for i in 0..pending as u64 {
+        q.push(next() % 1_000_000, [i; 12]);
+    }
+    let start = Instant::now();
+    let mut checksum = 0u64;
+    for _ in 0..events {
+        if let Some((t, ev)) = q.pop() {
+            checksum = checksum.wrapping_add(t).wrapping_add(ev[0]);
+            q.push(t + 1 + next() % 512, payload);
+        }
+    }
+    let wall = start.elapsed();
+    std::hint::black_box(checksum);
+    ChurnSample {
+        backend: kind,
+        pending,
+        events,
+        wall,
+    }
+}
+
+/// Run one full YCSB-A benchmark (load excluded from timing) on the chosen
+/// store and queue backend. The backend is selected through the same
+/// `SIM_QUEUE` environment variable the escape hatch uses, so the measured
+/// path is exactly the shipping one; call this from a single-threaded
+/// binary (the perfbench harness), not from parallel tests.
+pub fn driver_run(store_kind: StoreKind, backend: QueueKind, quick: bool) -> DriverSample {
+    std::env::set_var("SIM_QUEUE", backend_name(backend));
+    let scale = if quick {
+        Scale::tiny()
+    } else {
+        Scale::stress()
+    };
+    let mut cfg = DriverConfig::new(WorkloadSpec::ycsb_a(), scale.records);
+    cfg.value_len = scale.value_len;
+    cfg.threads = 32;
+    cfg.warmup_ops = if quick { 500 } else { 4_000 };
+    cfg.measure_ops = if quick { 4_500 } else { 146_000 };
+    cfg.seed = 42;
+    let sample = match store_kind {
+        StoreKind::CStore => {
+            let mut store = build_cstore(&scale, 3, Consistency::Quorum, Consistency::Quorum);
+            driver::load(&mut store, cfg.records, cfg.value_len, cfg.seed);
+            time_run(&mut store, &cfg, store_kind, backend)
+        }
+        StoreKind::HStore => {
+            let mut store = build_hstore(&scale, 3);
+            driver::load(&mut store, cfg.records, cfg.value_len, cfg.seed);
+            time_run(&mut store, &cfg, store_kind, backend)
+        }
+    };
+    std::env::remove_var("SIM_QUEUE");
+    sample
+}
+
+fn time_run<S>(
+    store: &mut S,
+    cfg: &DriverConfig,
+    kind: StoreKind,
+    backend: QueueKind,
+) -> DriverSample
+where
+    S: SimStore + faults::FaultTarget<Event = <S as SimStore>::Event>,
+{
+    let start = Instant::now();
+    let out = driver::run(store, cfg);
+    let wall = start.elapsed();
+    DriverSample {
+        store: kind,
+        backend,
+        events: out.events_dispatched,
+        ops: cfg.warmup_ops + cfg.measure_ops,
+        wall,
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    let status = match std::fs::read_to_string("/proc/self/status") {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// The full measurement set perfbench serializes to `BENCH_006.json`.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// `true` for the CI smoke variant (smaller populations and op counts).
+    pub quick: bool,
+    /// Queue-churn samples, both backends at each pending population.
+    pub churn: Vec<ChurnSample>,
+    /// Driver-level samples, both stores × both backends.
+    pub driver: Vec<DriverSample>,
+    /// Peak RSS at the end of measurement.
+    pub peak_rss_bytes: u64,
+}
+
+impl PerfReport {
+    /// Calendar-over-heap events/sec ratio at the largest churn population
+    /// (the headline number), or `None` before both backends ran.
+    pub fn churn_speedup(&self) -> Option<f64> {
+        let max_pending = self.churn.iter().map(|s| s.pending).max()?;
+        let eps = |kind: QueueKind| {
+            self.churn
+                .iter()
+                .find(|s| s.pending == max_pending && s.backend == kind)
+                .map(ChurnSample::events_per_sec)
+        };
+        let cal = eps(QueueKind::Calendar)?;
+        let heap = eps(QueueKind::Heap)?;
+        if heap <= 0.0 {
+            return None;
+        }
+        Some(cal / heap)
+    }
+
+    /// The number the CI regression gate tracks: calendar-backend churn
+    /// events/sec at the largest measured pending population.
+    pub fn gate_events_per_sec(&self) -> f64 {
+        let max_pending = self.churn.iter().map(|s| s.pending).max().unwrap_or(0);
+        self.churn
+            .iter()
+            .find(|s| s.pending == max_pending && s.backend == QueueKind::Calendar)
+            .map(ChurnSample::events_per_sec)
+            .unwrap_or(0.0)
+    }
+
+    /// Serialize to the `BENCH_006.json` document (hand-rolled: the
+    /// workspace has no serde; see `obs::export` for the precedent).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\n");
+        s.push_str("  \"bench_id\": \"BENCH_006\",\n");
+        s.push_str(
+            "  \"title\": \"Event-core speed: calendar queue vs binary heap, slab op contexts\",\n",
+        );
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str("  \"queue_churn\": [\n");
+        for (i, c) in self.churn.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"pending\": {}, \"events\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.1}}}{}\n",
+                backend_name(c.backend),
+                c.pending,
+                c.events,
+                c.wall.as_secs_f64(),
+                c.events_per_sec(),
+                if i + 1 < self.churn.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"churn_speedup_calendar_over_heap\": {:.2},\n",
+            self.churn_speedup().unwrap_or(0.0)
+        ));
+        s.push_str("  \"driver\": [\n");
+        for (i, d) in self.driver.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"store\": \"{}\", \"backend\": \"{}\", \"events_dispatched\": {}, \"ops\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.1}, \"ops_per_sec\": {:.1}}}{}\n",
+                d.store.short(),
+                backend_name(d.backend),
+                d.events,
+                d.ops,
+                d.wall.as_secs_f64(),
+                d.events_per_sec(),
+                d.ops_per_sec(),
+                if i + 1 < self.driver.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"gate_events_per_sec\": {:.1},\n",
+            self.gate_events_per_sec()
+        ));
+        s.push_str(&format!("  \"peak_rss_bytes\": {}\n", self.peak_rss_bytes));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Extract the first numeric value following `"key":` in a JSON document.
+/// The minimal reader for the regression gate — enough for the flat
+/// numbers [`PerfReport::to_json`] writes, not a general parser.
+pub fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_counts_every_event_and_preserves_population() {
+        let s = queue_churn(QueueKind::Calendar, 100, 1_000);
+        assert_eq!(s.events, 1_000);
+        assert_eq!(s.pending, 100);
+        assert!(s.events_per_sec() > 0.0);
+        let h = queue_churn(QueueKind::Heap, 100, 1_000);
+        assert_eq!(h.events, 1_000);
+    }
+
+    #[test]
+    fn report_round_trips_through_the_gate_reader() {
+        let report = PerfReport {
+            quick: true,
+            churn: vec![
+                ChurnSample {
+                    backend: QueueKind::Calendar,
+                    pending: 1000,
+                    events: 500_000,
+                    wall: Duration::from_millis(100),
+                },
+                ChurnSample {
+                    backend: QueueKind::Heap,
+                    pending: 1000,
+                    events: 500_000,
+                    wall: Duration::from_millis(400),
+                },
+            ],
+            driver: vec![],
+            peak_rss_bytes: 123,
+        };
+        let json = report.to_json();
+        let gate = extract_number(&json, "gate_events_per_sec");
+        assert_eq!(gate, Some(report.gate_events_per_sec()));
+        let speedup = extract_number(&json, "churn_speedup_calendar_over_heap");
+        assert!(speedup.is_some_and(|s| (s - 4.0).abs() < 0.1));
+        assert_eq!(extract_number(&json, "peak_rss_bytes"), Some(123.0));
+        assert_eq!(extract_number(&json, "no_such_key"), None);
+    }
+
+    #[test]
+    fn peak_rss_reads_procfs_on_linux() {
+        // On Linux this must be nonzero; elsewhere the fallback is 0.
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0);
+        }
+    }
+}

@@ -8,10 +8,8 @@
 //! are analogous with quota-gated responses, timestamp reconciliation, and
 //! (for reads) optional all-replica repair fan-out.
 
-use std::collections::HashMap;
-
 use obs::{Stage, Tracer};
-use simkit::{NodeId, Sim, SimTime};
+use simkit::{NodeId, OpKey, Sim, SimTime, Slab};
 use storage::types::entry_encoded_len;
 use storage::{Cell, Completion, Key, OpError, OpResult, StoreOp, Value};
 
@@ -23,15 +21,18 @@ use crate::ring::Ring;
 
 #[derive(Debug, Clone)]
 struct Pending {
-    op: StoreOp,
+    /// The driver token: the op's external identity (completions, traces).
+    token: u64,
     coordinator: NodeId,
     state: PendingState,
 }
 
 #[derive(Debug, Clone)]
 enum PendingState {
-    /// Created at submit; replaced at `Arrive`.
-    Init,
+    /// Created at submit, holding the op; consumed at `Arrive`.
+    Init(StoreOp),
+    /// Transient placeholder while `Arrive` moves the op out for dispatch.
+    Dispatching,
     Write(WriteState),
     Read(ReadState),
     Scan(ScanState),
@@ -50,6 +51,8 @@ struct WriteState {
 
 #[derive(Debug, Clone)]
 struct ReadState {
+    /// The read key, kept for repair writes after the op is consumed.
+    key: Key,
     needed: u32,
     expected: u32,
     responded: bool,
@@ -82,7 +85,7 @@ pub struct Cluster {
     config: CStoreConfig,
     ring: Ring,
     nodes: Vec<CNode>,
-    pending: HashMap<u64, Pending>,
+    pending: Slab<Pending>,
     completed: Vec<Completion>,
     metrics: Metrics,
     next_coord: usize,
@@ -103,7 +106,7 @@ impl Cluster {
             config,
             ring,
             nodes,
-            pending: HashMap::new(),
+            pending: Slab::new(),
             completed: Vec::new(),
             metrics: Metrics::new(),
             next_coord: 0,
@@ -368,18 +371,15 @@ impl Cluster {
         let rx_done = self.nodes[coord.index()].hw.nic.rx(arr, bytes);
         self.tracer
             .record(token, Stage::ClientSend, coord.0, sim.now(), rx_done);
-        self.pending.insert(
+        let key = self.pending.insert(Pending {
             token,
-            Pending {
-                op,
-                coordinator: coord,
-                state: PendingState::Init,
-            },
-        );
-        sim.schedule_at(rx_done, W::from(Event::Arrive { op: token }));
+            coordinator: coord,
+            state: PendingState::Init(op),
+        });
+        sim.schedule_at(rx_done, W::from(Event::Arrive { op: key }));
         sim.schedule_at(
             rx_done + self.config.rpc_timeout_us,
-            W::from(Event::Timeout { op: token }),
+            W::from(Event::Timeout { op: key }),
         );
     }
 
@@ -389,11 +389,12 @@ impl Cluster {
             Event::Arrive { op } => self.on_arrive(sim, op),
             Event::ReplicaWrite {
                 op,
+                token,
                 node,
                 key,
                 cell,
                 ack,
-            } => self.on_replica_write(sim, op, node, key, cell, ack),
+            } => self.on_replica_write(sim, op, token, node, key, cell, ack),
             Event::WriteApplied {
                 op,
                 node,
@@ -402,16 +403,22 @@ impl Cluster {
                 ack,
             } => self.on_write_applied(sim, op, node, key, cell, ack),
             Event::WriteAck { op } => self.on_write_ack(sim, op),
-            Event::ReplicaRead { op, node, key } => self.on_replica_read(sim, op, node, key),
+            Event::ReplicaRead {
+                op,
+                token,
+                node,
+                key,
+            } => self.on_replica_read(sim, op, token, node, key),
             Event::ReadReturn { op, node, cell } => self.on_read_return(sim, op, node, cell),
             Event::ReplicaScan {
                 op,
+                token,
                 node,
                 start,
                 limit,
                 clamp,
                 count,
-            } => self.on_replica_scan(sim, op, node, start, limit, clamp, count),
+            } => self.on_replica_scan(sim, op, token, node, start, limit, clamp, count),
             Event::ScanReturn {
                 op,
                 node,
@@ -496,17 +503,25 @@ impl Cluster {
 
     // ----- coordinator: arrival -----
 
-    fn on_arrive<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: u64) {
-        let Some(p) = self.pending.get(&op) else {
+    fn on_arrive<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: OpKey) {
+        let Some(p) = self.pending.get_mut(op) else {
             return;
         };
         let coord = p.coordinator;
-        let kind = p.op.clone();
+        let token = p.token;
+        // Move the op out of the pending slot instead of cloning it.
+        let kind = match std::mem::replace(&mut p.state, PendingState::Dispatching) {
+            PendingState::Init(kind) => kind,
+            other => {
+                p.state = other;
+                return;
+            }
+        };
         if !self.is_up(coord) {
             // Coordinator died since submit.
-            self.pending.remove(&op);
+            self.pending.remove(op);
             self.completed.push(Completion {
-                token: op,
+                token,
                 result: OpResult::Error(OpError::Unavailable),
             });
             return;
@@ -516,27 +531,29 @@ impl Cluster {
             .cpu
             .acquire(sim.now(), self.config.costs.coord_us);
         self.tracer
-            .record(op, Stage::ServerCpu, coord.0, sim.now(), t1);
+            .record(token, Stage::ServerCpu, coord.0, sim.now(), t1);
         match kind {
             StoreOp::Insert { key, value } | StoreOp::Update { key, value } => {
-                self.start_write(sim, op, coord, key, Cell::live(value, t1), t1);
+                self.start_write(sim, op, token, coord, key, Cell::live(value, t1), t1);
             }
             StoreOp::Delete { key } => {
-                self.start_write(sim, op, coord, key, Cell::tombstone(t1), t1);
+                self.start_write(sim, op, token, coord, key, Cell::tombstone(t1), t1);
             }
             StoreOp::Read { key } => {
-                self.start_read(sim, op, coord, key, t1);
+                self.start_read(sim, op, token, coord, key, t1);
             }
             StoreOp::Scan { start, limit } => {
-                self.start_scan(sim, op, coord, start, limit, t1);
+                self.start_scan(sim, op, token, coord, start, limit, t1);
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn start_write<W: From<Event>>(
         &mut self,
         sim: &mut Sim<W>,
-        op: u64,
+        op: OpKey,
+        token: u64,
         coord: NodeId,
         key: Key,
         cell: Cell,
@@ -550,8 +567,8 @@ impl Cluster {
             replicas.into_iter().partition(|&r| self.is_up(r));
         if (live.len() as u32) < needed {
             self.metrics.unavailable += 1;
-            self.pending.remove(&op);
-            self.respond(sim, op, coord, t1, OpResult::Error(OpError::Unavailable));
+            self.pending.remove(op);
+            self.respond(sim, token, coord, t1, OpResult::Error(OpError::Unavailable));
             return;
         }
         if self.config.hinted_handoff {
@@ -566,13 +583,15 @@ impl Cluster {
         }
         let bytes = self.config.costs.msg_overhead_bytes + entry_encoded_len(&key, &cell);
         let expected = live.len() as u32;
+        let ts = cell.ts;
         for r in live {
             let arr = self.net_to(coord, r, bytes, t1);
-            self.tracer.record(op, Stage::ReplicaRpc, r.0, t1, arr);
+            self.tracer.record(token, Stage::ReplicaRpc, r.0, t1, arr);
             sim.schedule_at(
                 arr,
                 W::from(Event::ReplicaWrite {
                     op,
+                    token,
                     node: r,
                     key: key.clone(),
                     cell: cell.clone(),
@@ -580,13 +599,13 @@ impl Cluster {
                 }),
             );
         }
-        if let Some(p) = self.pending.get_mut(&op) {
+        if let Some(p) = self.pending.get_mut(op) {
             p.state = PendingState::Write(WriteState {
                 needed,
                 expected,
                 acks: 0,
                 responded: false,
-                ts: cell.ts,
+                ts,
                 fanout_at: t1,
             });
         }
@@ -595,7 +614,8 @@ impl Cluster {
     fn start_read<W: From<Event>>(
         &mut self,
         sim: &mut Sim<W>,
-        op: u64,
+        op: OpKey,
+        token: u64,
         coord: NodeId,
         key: Key,
         t1: SimTime,
@@ -613,8 +633,8 @@ impl Cluster {
             .collect();
         if (live.len() as u32) < needed {
             self.metrics.unavailable += 1;
-            self.pending.remove(&op);
-            self.respond(sim, op, coord, t1, OpResult::Error(OpError::Unavailable));
+            self.pending.remove(op);
+            self.respond(sim, token, coord, t1, OpResult::Error(OpError::Unavailable));
             return;
         }
         let fanout = live.len() as u32 > needed && sim.rng().chance(self.config.read_repair_chance);
@@ -630,18 +650,20 @@ impl Cluster {
         let expected = targets.len() as u32;
         for r in targets {
             let arr = self.net_to(coord, r, bytes, t1);
-            self.tracer.record(op, Stage::ReplicaRpc, r.0, t1, arr);
+            self.tracer.record(token, Stage::ReplicaRpc, r.0, t1, arr);
             sim.schedule_at(
                 arr,
                 W::from(Event::ReplicaRead {
                     op,
+                    token,
                     node: r,
                     key: key.clone(),
                 }),
             );
         }
-        if let Some(p) = self.pending.get_mut(&op) {
+        if let Some(p) = self.pending.get_mut(op) {
             p.state = PendingState::Read(ReadState {
+                key,
                 needed,
                 expected,
                 responded: false,
@@ -652,10 +674,12 @@ impl Cluster {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn start_scan<W: From<Event>>(
         &mut self,
         sim: &mut Sim<W>,
-        op: u64,
+        op: OpKey,
+        token: u64,
         coord: NodeId,
         start: Key,
         limit: usize,
@@ -663,7 +687,7 @@ impl Cluster {
     ) {
         self.metrics.scans += 1;
         let p_idx = self.ring.primary(&start);
-        if let Some(p) = self.pending.get_mut(&op) {
+        if let Some(p) = self.pending.get_mut(op) {
             p.state = PendingState::Scan(ScanState {
                 limit,
                 needed_this_round: 0,
@@ -676,14 +700,15 @@ impl Cluster {
                 round_started: t1,
             });
         }
-        self.send_scan_round(sim, op, coord, p_idx, start, limit, t1);
+        self.send_scan_round(sim, op, token, coord, p_idx, start, limit, t1);
     }
 
     #[allow(clippy::too_many_arguments)]
     fn send_scan_round<W: From<Event>>(
         &mut self,
         sim: &mut Sim<W>,
-        op: u64,
+        op: OpKey,
+        token: u64,
         coord: NodeId,
         primary: usize,
         start: Key,
@@ -699,8 +724,8 @@ impl Cluster {
             .collect();
         if (live.len() as u32) < needed {
             self.metrics.unavailable += 1;
-            self.pending.remove(&op);
-            self.respond(sim, op, coord, t1, OpResult::Error(OpError::Unavailable));
+            self.pending.remove(op);
+            self.respond(sim, token, coord, t1, OpResult::Error(OpError::Unavailable));
             return;
         }
         // Range reads participate in read repair too (Cassandra's range
@@ -716,11 +741,12 @@ impl Cluster {
         let bytes = self.config.costs.msg_overhead_bytes + start.len() as u64;
         for (i, &r) in live[..probed].iter().enumerate() {
             let arr = self.net_to(coord, r, bytes, t1);
-            self.tracer.record(op, Stage::ReplicaRpc, r.0, t1, arr);
+            self.tracer.record(token, Stage::ReplicaRpc, r.0, t1, arr);
             sim.schedule_at(
                 arr,
                 W::from(Event::ReplicaScan {
                     op,
+                    token,
                     node: r,
                     start: start.clone(),
                     limit,
@@ -731,7 +757,7 @@ impl Cluster {
                 }),
             );
         }
-        if let Some(p) = self.pending.get_mut(&op) {
+        if let Some(p) = self.pending.get_mut(op) {
             if let PendingState::Scan(s) = &mut p.state {
                 s.needed_this_round = needed;
                 s.received_this_round = 0;
@@ -743,10 +769,12 @@ impl Cluster {
 
     // ----- replica side -----
 
+    #[allow(clippy::too_many_arguments)]
     fn on_replica_write<W: From<Event>>(
         &mut self,
         sim: &mut Sim<W>,
-        op: u64,
+        op: OpKey,
+        token: u64,
         node: NodeId,
         key: Key,
         cell: Cell,
@@ -760,7 +788,7 @@ impl Cluster {
         let n = &mut self.nodes[node.index()];
         let cpu_end = n.hw.cpu.acquire(sim.now(), service);
         self.tracer
-            .record(op, Stage::ReplicaWork, node.0, sim.now(), cpu_end);
+            .record(token, Stage::ReplicaWork, node.0, sim.now(), cpu_end);
         let mut t1 = cpu_end;
         let wal_bytes = entry_encoded_len(&key, &cell) + 8;
         match self.config.commitlog_sync {
@@ -771,7 +799,7 @@ impl Cluster {
             CommitlogSync::PerWrite => {
                 t1 = n.hw.disk.random_write(t1, wal_bytes);
                 self.tracer
-                    .record(op, Stage::WalCommit, node.0, cpu_end, t1);
+                    .record(token, Stage::WalCommit, node.0, cpu_end, t1);
             }
         }
         sim.schedule_at(
@@ -789,7 +817,7 @@ impl Cluster {
     fn on_write_applied<W: From<Event>>(
         &mut self,
         sim: &mut Sim<W>,
-        op: u64,
+        op: OpKey,
         node: NodeId,
         key: Key,
         cell: Cell,
@@ -810,29 +838,32 @@ impl Cluster {
         if !ack {
             return;
         }
-        let Some(p) = self.pending.get(&op) else {
+        let Some(p) = self.pending.get(op) else {
             return; // op already answered/timed out; the write still counts
         };
         let coord = p.coordinator;
+        let token = p.token;
         let bytes = self.config.costs.msg_overhead_bytes;
         let arr = self.net_to(node, coord, bytes, now);
-        self.tracer.record(op, Stage::ReplicaRpc, node.0, now, arr);
+        self.tracer
+            .record(token, Stage::ReplicaRpc, node.0, now, arr);
         sim.schedule_at(arr, W::from(Event::WriteAck { op }));
     }
 
-    fn on_write_ack<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: u64) {
-        let Some(p) = self.pending.get(&op) else {
+    fn on_write_ack<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: OpKey) {
+        let Some(p) = self.pending.get(op) else {
             return;
         };
         let coord = p.coordinator;
+        let token = p.token;
         let t1 = self.nodes[coord.index()]
             .hw
             .cpu
             .acquire(sim.now(), self.config.costs.reconcile_us);
         self.tracer
-            .record(op, Stage::Reconcile, coord.0, sim.now(), t1);
+            .record(token, Stage::Reconcile, coord.0, sim.now(), t1);
         let (respond_now, done, ts, fanout_at) = {
-            let Some(p) = self.pending.get_mut(&op) else {
+            let Some(p) = self.pending.get_mut(op) else {
                 return;
             };
             let PendingState::Write(w) = &mut p.state else {
@@ -847,18 +878,19 @@ impl Cluster {
         };
         if respond_now {
             self.tracer
-                .record(op, Stage::QuorumWait, coord.0, fanout_at, sim.now());
-            self.respond(sim, op, coord, t1, OpResult::Written { ts });
+                .record(token, Stage::QuorumWait, coord.0, fanout_at, sim.now());
+            self.respond(sim, token, coord, t1, OpResult::Written { ts });
         }
         if done {
-            self.pending.remove(&op);
+            self.pending.remove(op);
         }
     }
 
     fn on_replica_read<W: From<Event>>(
         &mut self,
         sim: &mut Sim<W>,
-        op: u64,
+        op: OpKey,
+        token: u64,
         node: NodeId,
         key: Key,
     ) {
@@ -875,38 +907,39 @@ impl Cluster {
             (res.cell, t1, t2)
         };
         self.tracer
-            .record(op, Stage::ReplicaWork, node.0, sim.now(), t1);
-        self.tracer.record(op, Stage::DiskIo, node.0, t1, t2);
-        let Some(p) = self.pending.get(&op) else {
+            .record(token, Stage::ReplicaWork, node.0, sim.now(), t1);
+        self.tracer.record(token, Stage::DiskIo, node.0, t1, t2);
+        let Some(p) = self.pending.get(op) else {
             return;
         };
         let coord = p.coordinator;
         let bytes = self.cell_bytes(&cell);
         let arr = self.net_to(node, coord, bytes, t2);
-        self.tracer.record(op, Stage::ReplicaRpc, node.0, t2, arr);
+        self.tracer
+            .record(token, Stage::ReplicaRpc, node.0, t2, arr);
         sim.schedule_at(arr, W::from(Event::ReadReturn { op, node, cell }));
     }
 
     fn on_read_return<W: From<Event>>(
         &mut self,
         sim: &mut Sim<W>,
-        op: u64,
+        op: OpKey,
         node: NodeId,
         cell: Option<Cell>,
     ) {
-        let Some(p) = self.pending.get(&op) else {
+        let Some(p) = self.pending.get(op) else {
             return;
         };
         let coord = p.coordinator;
-        let key = p.op.key().clone();
+        let token = p.token;
         let t1 = self.nodes[coord.index()]
             .hw
             .cpu
             .acquire(sim.now(), self.config.costs.reconcile_us);
         self.tracer
-            .record(op, Stage::Reconcile, coord.0, sim.now(), t1);
+            .record(token, Stage::Reconcile, coord.0, sim.now(), t1);
         let (respond_now, winner_for_client, finished, repairs, fanout_at) = {
-            let Some(p) = self.pending.get_mut(&op) else {
+            let Some(p) = self.pending.get_mut(op) else {
                 return;
             };
             let PendingState::Read(r) = &mut p.state else {
@@ -977,7 +1010,7 @@ impl Cluster {
         };
         if respond_now {
             self.tracer
-                .record(op, Stage::QuorumWait, coord.0, fanout_at, sim.now());
+                .record(token, Stage::QuorumWait, coord.0, fanout_at, sim.now());
             let client_cell = winner_for_client.filter(|c| !c.is_tombstone());
             // Blocked repair: if this response closes a fan-out that found
             // stale replicas, the client also waits for the repair
@@ -988,25 +1021,35 @@ impl Cluster {
                 t1
             };
             self.tracer
-                .record(op, Stage::RepairBlock, coord.0, t1, respond_at);
-            self.respond(sim, op, coord, respond_at, OpResult::Value(client_cell));
+                .record(token, Stage::RepairBlock, coord.0, t1, respond_at);
+            self.respond(sim, token, coord, respond_at, OpResult::Value(client_cell));
         }
         if finished {
-            for (target, cell) in repairs {
-                let bytes = self.config.costs.msg_overhead_bytes + entry_encoded_len(&key, &cell);
-                let arr = self.net_to(coord, target, bytes, t1);
-                sim.schedule_at(
-                    arr,
-                    W::from(Event::ReplicaWrite {
-                        op: 0,
-                        node: target,
-                        key: key.clone(),
-                        cell,
-                        ack: false,
-                    }),
-                );
+            // The op is done: take the pending entry, recovering the read
+            // key (moved in at `start_read`) for the repair mutations.
+            let done = self.pending.remove(op);
+            if !repairs.is_empty() {
+                let key = match done.map(|p| p.state) {
+                    Some(PendingState::Read(r)) => r.key,
+                    _ => unreachable!("read state exists until removal"),
+                };
+                for (target, cell) in repairs {
+                    let bytes =
+                        self.config.costs.msg_overhead_bytes + entry_encoded_len(&key, &cell);
+                    let arr = self.net_to(coord, target, bytes, t1);
+                    sim.schedule_at(
+                        arr,
+                        W::from(Event::ReplicaWrite {
+                            op: OpKey::NONE,
+                            token: 0,
+                            node: target,
+                            key: key.clone(),
+                            cell,
+                            ack: false,
+                        }),
+                    );
+                }
             }
-            self.pending.remove(&op);
         }
     }
 
@@ -1014,7 +1057,8 @@ impl Cluster {
     fn on_replica_scan<W: From<Event>>(
         &mut self,
         sim: &mut Sim<W>,
-        op: u64,
+        op: OpKey,
+        token: u64,
         node: NodeId,
         start: Key,
         limit: usize,
@@ -1043,16 +1087,17 @@ impl Cluster {
             return; // repair probe: the load was the point
         }
         self.tracer
-            .record(op, Stage::ReplicaWork, node.0, sim.now(), t1);
-        self.tracer.record(op, Stage::DiskIo, node.0, t1, t2);
-        self.tracer.record(op, Stage::ScanRows, node.0, t2, t3);
-        let Some(p) = self.pending.get(&op) else {
+            .record(token, Stage::ReplicaWork, node.0, sim.now(), t1);
+        self.tracer.record(token, Stage::DiskIo, node.0, t1, t2);
+        self.tracer.record(token, Stage::ScanRows, node.0, t2, t3);
+        let Some(p) = self.pending.get(op) else {
             return;
         };
         let coord = p.coordinator;
         let bytes = self.rows_bytes(&rows);
         let arr = self.net_to(node, coord, bytes, t3);
-        self.tracer.record(op, Stage::ReplicaRpc, node.0, t3, arr);
+        self.tracer
+            .record(token, Stage::ReplicaRpc, node.0, t3, arr);
         sim.schedule_at(
             arr,
             W::from(Event::ScanReturn {
@@ -1067,21 +1112,22 @@ impl Cluster {
     fn on_scan_return<W: From<Event>>(
         &mut self,
         sim: &mut Sim<W>,
-        op: u64,
+        op: OpKey,
         _node: NodeId,
         rows: Vec<(Key, Cell)>,
         _exhausted: bool,
     ) {
-        let Some(p) = self.pending.get(&op) else {
+        let Some(p) = self.pending.get(op) else {
             return;
         };
         let coord = p.coordinator;
+        let token = p.token;
         let t1 = self.nodes[coord.index()]
             .hw
             .cpu
             .acquire(sim.now(), self.config.costs.reconcile_us);
         self.tracer
-            .record(op, Stage::Reconcile, coord.0, sim.now(), t1);
+            .record(token, Stage::Reconcile, coord.0, sim.now(), t1);
         enum Next {
             Wait,
             Respond(Vec<(Key, Cell)>),
@@ -1092,7 +1138,7 @@ impl Cluster {
             },
         }
         let next = {
-            let Some(p) = self.pending.get_mut(&op) else {
+            let Some(p) = self.pending.get_mut(op) else {
                 return;
             };
             let PendingState::Scan(s) = &mut p.state else {
@@ -1103,8 +1149,13 @@ impl Cluster {
             if s.received_this_round < s.needed_this_round {
                 Next::Wait
             } else {
-                self.tracer
-                    .record(op, Stage::QuorumWait, coord.0, s.round_started, sim.now());
+                self.tracer.record(
+                    token,
+                    Stage::QuorumWait,
+                    coord.0,
+                    s.round_started,
+                    sim.now(),
+                );
                 // Round complete: reconcile this range across its replicas.
                 let sources = std::mem::take(&mut s.partials);
                 let merged = storage::merge::merge_entries(sources, false);
@@ -1142,25 +1193,25 @@ impl Cluster {
         match next {
             Next::Wait => {}
             Next::Respond(rows) => {
-                self.pending.remove(&op);
-                self.respond(sim, op, coord, t1, OpResult::Rows(rows));
+                self.pending.remove(op);
+                self.respond(sim, token, coord, t1, OpResult::Rows(rows));
             }
             Next::Continue {
                 primary,
                 start,
                 remaining,
             } => {
-                self.send_scan_round(sim, op, coord, primary, start, remaining, t1);
+                self.send_scan_round(sim, op, token, coord, primary, start, remaining, t1);
             }
         }
     }
 
-    fn on_timeout<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: u64) {
-        let Some(p) = self.pending.remove(&op) else {
+    fn on_timeout<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: OpKey) {
+        let Some(p) = self.pending.remove(op) else {
             return;
         };
         let responded = match &p.state {
-            PendingState::Init => false,
+            PendingState::Init(_) | PendingState::Dispatching => false,
             PendingState::Write(w) => w.responded,
             PendingState::Read(r) => r.responded,
             PendingState::Scan(s) => s.responded,
@@ -1169,11 +1220,11 @@ impl Cluster {
             self.metrics.timeouts += 1;
             let at = sim.now() + self.config.profile.nic.prop_us;
             self.tracer
-                .record(op, Stage::RespSend, p.coordinator.0, sim.now(), at);
+                .record(p.token, Stage::RespSend, p.coordinator.0, sim.now(), at);
             sim.schedule_at(
                 at,
                 W::from(Event::Deliver {
-                    token: op,
+                    token: p.token,
                     // Distinct from `Unavailable`: the coordinator *accepted*
                     // the request but replicas stopped answering mid-flight
                     // (Cassandra's TimedOutException vs UnavailableException).
@@ -1203,7 +1254,8 @@ impl Cluster {
                 sim.schedule_at(
                     arr,
                     W::from(Event::ReplicaWrite {
-                        op: 0,
+                        op: OpKey::NONE,
+                        token: 0,
                         node: hint.target,
                         key: hint.key,
                         cell: hint.cell,

@@ -3,8 +3,15 @@
 //! `cstore` is queue-agnostic: every method is generic over any event
 //! payload `W: From<Event>`, so the experiment driver can embed these events
 //! in its own enum alongside client-side events.
+//!
+//! Internal events reference their operation by slab key ([`OpKey`], see
+//! [`simkit::slab`]): a late event whose op already completed carries a
+//! stale generation and resolves to nothing, replacing the old
+//! `HashMap`-miss semantics. Replica-side events additionally carry the
+//! driver token for span tracing, which must keep recording work performed
+//! on behalf of an op even after the op itself timed out.
 
-use simkit::NodeId;
+use simkit::{NodeId, OpKey};
 use storage::{Cell, Key, OpResult};
 
 /// An internal simulation event of the Cassandra-analog cluster.
@@ -12,13 +19,15 @@ use storage::{Cell, Key, OpResult};
 pub enum Event {
     /// A client request has fully arrived at its coordinator.
     Arrive {
-        /// Operation id (the driver token).
-        op: u64,
+        /// Slab key of the pending op.
+        op: OpKey,
     },
     /// A mutation has arrived at a replica.
     ReplicaWrite {
-        /// Operation id; ignored when `ack` is false.
-        op: u64,
+        /// Slab key; [`OpKey::NONE`] for repair/hint writes (no pending op).
+        op: OpKey,
+        /// Driver token for tracing; 0 for repair/hint writes.
+        token: u64,
         /// The replica.
         node: NodeId,
         /// Mutated key.
@@ -30,8 +39,8 @@ pub enum Event {
     },
     /// A replica finished applying a mutation (CPU/log done).
     WriteApplied {
-        /// Operation id; ignored when `ack` is false.
-        op: u64,
+        /// Slab key; [`OpKey::NONE`] when `ack` is false.
+        op: OpKey,
         /// The replica.
         node: NodeId,
         /// Mutated key.
@@ -43,13 +52,15 @@ pub enum Event {
     },
     /// A replica's write acknowledgement reached the coordinator.
     WriteAck {
-        /// Operation id.
-        op: u64,
+        /// Slab key of the pending op.
+        op: OpKey,
     },
     /// A read request arrived at a replica.
     ReplicaRead {
-        /// Operation id.
-        op: u64,
+        /// Slab key of the pending op.
+        op: OpKey,
+        /// Driver token for tracing.
+        token: u64,
         /// The replica.
         node: NodeId,
         /// Key to read.
@@ -57,8 +68,8 @@ pub enum Event {
     },
     /// A replica's read response reached the coordinator.
     ReadReturn {
-        /// Operation id.
-        op: u64,
+        /// Slab key of the pending op.
+        op: OpKey,
         /// The responding replica.
         node: NodeId,
         /// What the replica had (None = no version).
@@ -66,8 +77,10 @@ pub enum Event {
     },
     /// A scan request arrived at a replica.
     ReplicaScan {
-        /// Operation id.
-        op: u64,
+        /// Slab key of the pending op.
+        op: OpKey,
+        /// Driver token for tracing.
+        token: u64,
         /// The replica.
         node: NodeId,
         /// First key of the range.
@@ -82,8 +95,8 @@ pub enum Event {
     },
     /// A replica's scan response reached the coordinator.
     ScanReturn {
-        /// Operation id.
-        op: u64,
+        /// Slab key of the pending op.
+        op: OpKey,
         /// The responding replica.
         node: NodeId,
         /// Rows found (may include tombstones; coordinator filters).
@@ -100,8 +113,8 @@ pub enum Event {
     },
     /// Give up on an operation that is still incomplete.
     Timeout {
-        /// Operation id.
-        op: u64,
+        /// Slab key of the pending op.
+        op: OpKey,
     },
     /// Drain this node's hint queue toward recovered replicas.
     HintReplay {

@@ -8,13 +8,11 @@
 //! never leaves the region's server (strong consistency, short-circuit
 //! local HFile access). A scan walks regions, one leg per region server.
 
-use std::collections::HashMap;
-
 use dfs::DfsCluster;
 use obs::{Stage, Tracer};
-use simkit::{NodeHw, NodeId, Sim, SimRng, SimTime};
+use simkit::{NodeHw, NodeId, OpKey, Sim, SimRng, SimTime, Slab};
 use storage::types::entry_encoded_len;
-use storage::{Cell, Completion, Key, OpError, OpResult, StoreOp};
+use storage::{Cell, Completion, Key, OpError, OpResult, StoreOp, Value};
 
 use crate::config::HStoreConfig;
 use crate::event::Event;
@@ -27,18 +25,33 @@ struct WalState {
     file: dfs::FileId,
     pipeline: Vec<NodeId>,
     inflight: bool,
-    /// Queued writers: `(token, enqueue time)` — the time marks where the
-    /// op's WAL-queue stage starts.
-    waiting: Vec<(u64, SimTime)>,
+    /// Queued writers: `(slab key, driver token, enqueue time)` — the time
+    /// marks where the op's WAL-queue stage starts.
+    waiting: Vec<(OpKey, u64, SimTime)>,
     waiting_bytes: u64,
     block_bytes: u64,
 }
 
 #[derive(Debug, Clone)]
 struct Pending {
-    op: StoreOp,
+    token: u64,
     responded: bool,
-    scan: Option<ScanState>,
+    state: PendingState,
+}
+
+/// Per-op state machine. The submitted `StoreOp` lives in `Init` until the
+/// arrival event dispatches it; write payloads then move (not clone) into
+/// `Write` so the WAL flush can move them again into the memstore.
+#[derive(Debug, Clone)]
+enum PendingState {
+    /// Submitted, not yet arrived at its region server.
+    Init(StoreOp),
+    /// Queued in the server's WAL; `None` value = delete (tombstone).
+    Write { key: Key, value: Option<Value> },
+    /// A scan walking regions.
+    Scan(ScanState),
+    /// Dispatched with no retained payload (reads, applied writes).
+    Done,
 }
 
 #[derive(Debug, Clone)]
@@ -56,7 +69,7 @@ pub struct Cluster {
     servers: Vec<NodeHw>,
     wals: Vec<WalState>,
     fs: DfsCluster,
-    pending: HashMap<u64, Pending>,
+    pending: Slab<Pending>,
     completed: Vec<Completion>,
     metrics: Metrics,
     rng: SimRng,
@@ -105,7 +118,7 @@ impl Cluster {
             servers,
             wals,
             fs,
-            pending: HashMap::new(),
+            pending: Slab::new(),
             completed: Vec::new(),
             metrics: Metrics::new(),
             rng,
@@ -309,6 +322,7 @@ impl Cluster {
     fn respond<W: From<Event>>(
         &mut self,
         sim: &mut Sim<W>,
+        op: OpKey,
         token: u64,
         from: NodeId,
         start: SimTime,
@@ -328,10 +342,10 @@ impl Cluster {
         let at = self.client_delivery(from, bytes, start);
         self.tracer
             .record(token, Stage::RespSend, from.0, start, at);
-        if let Some(p) = self.pending.get_mut(&token) {
+        if let Some(p) = self.pending.get_mut(op) {
             p.responded = true;
         }
-        sim.schedule_at(at, W::from(Event::Deliver { token, result }));
+        sim.schedule_at(at, W::from(Event::Deliver { token, op, result }));
     }
 
     /// Push `bytes` through a replication pipeline starting at `start`:
@@ -410,18 +424,15 @@ impl Cluster {
         let rx = self.servers[server.index()].nic.rx(arr, bytes);
         self.tracer
             .record(token, Stage::ClientSend, server.0, sim.now(), rx);
-        self.pending.insert(
+        let key = self.pending.insert(Pending {
             token,
-            Pending {
-                op,
-                responded: false,
-                scan: None,
-            },
-        );
-        sim.schedule_at(rx, W::from(Event::Arrive { op: token }));
+            responded: false,
+            state: PendingState::Init(op),
+        });
+        sim.schedule_at(rx, W::from(Event::Arrive { op: key }));
         sim.schedule_at(
             rx + self.config.rpc_timeout_us,
-            W::from(Event::Timeout { op: token }),
+            W::from(Event::Timeout { op: key }),
         );
     }
 
@@ -431,8 +442,8 @@ impl Cluster {
             Event::Arrive { op } => self.on_arrive(sim, op),
             Event::WalFlushDone { server, group } => self.on_wal_flush_done(sim, server, group),
             Event::ScanExec { op, region, start } => self.on_scan_exec(sim, op, region, start),
-            Event::Deliver { token, result } => {
-                self.pending.remove(&token);
+            Event::Deliver { token, op, result } => {
+                self.pending.remove(op);
                 self.completed.push(Completion { token, result });
             }
             Event::Timeout { op } => self.on_timeout(sim, op),
@@ -470,18 +481,27 @@ impl Cluster {
         sim.schedule_in(dur + jitter, W::from(Event::GcPause { server }));
     }
 
-    fn on_arrive<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: u64) {
-        let Some(p) = self.pending.get(&op) else {
+    fn on_arrive<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: OpKey) {
+        let Some(p) = self.pending.get_mut(op) else {
             return;
         };
-        let kind = p.op.clone();
+        let token = p.token;
+        // Move the submitted op out of its pending slot; write payloads are
+        // parked back in `PendingState::Write` below without cloning.
+        let kind = match std::mem::replace(&mut p.state, PendingState::Done) {
+            PendingState::Init(kind) => kind,
+            other => {
+                p.state = other;
+                return;
+            }
+        };
         let idx = self.regions.region_of(kind.key());
         let server = self.regions.get(idx).server;
         if !self.is_up(server) {
             self.metrics.server_down += 1;
-            self.pending.remove(&op);
+            self.pending.remove(op);
             self.completed.push(Completion {
-                token: op,
+                token,
                 result: OpResult::Error(OpError::ServerDown),
             });
             return;
@@ -489,17 +509,17 @@ impl Cluster {
         let service = self.service(sim, self.config.costs.server_us);
         let t1 = self.servers[server.index()].cpu.acquire(sim.now(), service);
         self.tracer
-            .record(op, Stage::ServerCpu, server.0, sim.now(), t1);
+            .record(token, Stage::ServerCpu, server.0, sim.now(), t1);
         match kind {
             StoreOp::Read { key } => {
                 self.metrics.reads += 1;
-                let t2 = self.read_region(idx, &key, t1, sim, op);
+                let t2 = self.read_region(idx, &key, t1, sim, op, token);
                 let _ = t2;
             }
             StoreOp::Scan { start, limit } => {
                 self.metrics.scans += 1;
-                if let Some(p) = self.pending.get_mut(&op) {
-                    p.scan = Some(ScanState {
+                if let Some(p) = self.pending.get_mut(op) {
+                    p.state = PendingState::Scan(ScanState {
                         collected: Vec::new(),
                         limit,
                     });
@@ -513,9 +533,24 @@ impl Cluster {
                     }),
                 );
             }
-            StoreOp::Insert { .. } | StoreOp::Update { .. } | StoreOp::Delete { .. } => {
+            StoreOp::Insert { key, value } | StoreOp::Update { key, value } => {
                 self.metrics.writes += 1;
-                self.enqueue_wal(sim, op, server, t1);
+                let bytes = entry_encoded_len(&key, &Cell::live(value.clone(), 0)) + 8;
+                if let Some(p) = self.pending.get_mut(op) {
+                    p.state = PendingState::Write {
+                        key,
+                        value: Some(value),
+                    };
+                }
+                self.enqueue_wal(sim, op, token, server, t1, bytes);
+            }
+            StoreOp::Delete { key } => {
+                self.metrics.writes += 1;
+                let bytes = entry_encoded_len(&key, &Cell::tombstone(0)) + 8;
+                if let Some(p) = self.pending.get_mut(op) {
+                    p.state = PendingState::Write { key, value: None };
+                }
+                self.enqueue_wal(sim, op, token, server, t1, bytes);
             }
         }
     }
@@ -527,13 +562,15 @@ impl Cluster {
         key: &[u8],
         t1: SimTime,
         sim: &mut Sim<W>,
-        op: u64,
+        op: OpKey,
+        token: u64,
     ) -> SimTime {
         let server = self.regions.get(idx).server;
         let service = self.service(sim, self.config.costs.read_us);
         let t0 = t1;
         let t1 = self.servers[server.index()].cpu.acquire(t1, service);
-        self.tracer.record(op, Stage::ServerCpu, server.0, t0, t1);
+        self.tracer
+            .record(token, Stage::ServerCpu, server.0, t0, t1);
         let remote = self.region_remote_source(idx);
         let (cell, plan) = {
             let region = self.regions.get_mut(idx);
@@ -571,9 +608,9 @@ impl Cluster {
                 _ => {}
             }
         }
-        self.tracer.record(op, Stage::DiskIo, server.0, t1, t);
+        self.tracer.record(token, Stage::DiskIo, server.0, t1, t);
         let client_cell = cell.filter(|c| !c.is_tombstone());
-        self.respond(sim, op, server, t, OpResult::Value(client_cell));
+        self.respond(sim, op, token, server, t, OpResult::Value(client_cell));
         t
     }
 
@@ -596,22 +633,14 @@ impl Cluster {
     fn enqueue_wal<W: From<Event>>(
         &mut self,
         sim: &mut Sim<W>,
-        op: u64,
+        op: OpKey,
+        token: u64,
         server: NodeId,
         t1: SimTime,
+        bytes: u64,
     ) {
-        let bytes = {
-            let p = self.pending.get(&op).expect("pending exists");
-            match &p.op {
-                StoreOp::Insert { key, value } | StoreOp::Update { key, value } => {
-                    entry_encoded_len(key, &Cell::live(value.clone(), 0)) + 8
-                }
-                StoreOp::Delete { key } => entry_encoded_len(key, &Cell::tombstone(0)) + 8,
-                _ => unreachable!("only writes reach the WAL"),
-            }
-        };
         let wal = &mut self.wals[server.index()];
-        wal.waiting.push((op, t1));
+        wal.waiting.push((op, token, t1));
         wal.waiting_bytes += bytes;
         if !wal.inflight {
             self.start_wal_group(sim, server, t1);
@@ -627,23 +656,29 @@ impl Cluster {
             wal.waiting_bytes = 0;
             wal.inflight = true;
             wal.block_bytes += bytes;
-            (group, bytes, wal.pipeline.clone())
+            // Borrow the pipeline by moving it out; restored below before
+            // any WAL roll can replace it.
+            (group, bytes, std::mem::take(&mut wal.pipeline))
         };
         self.metrics.wal_groups += 1;
         self.metrics.wal_entries += group.len() as u64;
         // Per-hop spans are collected only when some group member is traced;
         // the collection is bookkeeping, never behaviour.
-        let want_hops =
-            self.tracer.enabled() && group.iter().any(|&(op, _)| self.tracer.watching(op));
+        let want_hops = self.tracer.enabled()
+            && group
+                .iter()
+                .any(|&(_, token, _)| self.tracer.watching(token));
         let mut hops: Vec<(u32, SimTime, SimTime)> = Vec::new();
         let done = self.pipeline_round_trip(&pipeline, bytes, t, want_hops.then_some(&mut hops));
-        for &(op, enq) in &group {
-            self.tracer.record(op, Stage::WalQueue, server.0, enq, t);
-            self.tracer.record(op, Stage::WalCommit, server.0, t, done);
+        for &(_, token, enq) in &group {
+            self.tracer.record(token, Stage::WalQueue, server.0, enq, t);
+            self.tracer
+                .record(token, Stage::WalCommit, server.0, t, done);
             for &(node, hs, he) in &hops {
-                self.tracer.record(op, Stage::PipelineHop, node, hs, he);
+                self.tracer.record(token, Stage::PipelineHop, node, hs, he);
             }
         }
+        self.wals[server.index()].pipeline = pipeline;
         // Roll the WAL block when it fills (a fresh HDFS block and possibly
         // a fresh pipeline).
         if self.wals[server.index()].block_bytes >= self.config.wal_block_bytes {
@@ -655,7 +690,7 @@ impl Cluster {
             wal.block_bytes = 0;
             self.metrics.wal_blocks_rolled += 1;
         }
-        let group: Vec<u64> = group.into_iter().map(|(op, _)| op).collect();
+        let group: Vec<OpKey> = group.into_iter().map(|(op, _, _)| op).collect();
         sim.schedule_at(done, W::from(Event::WalFlushDone { server, group }));
     }
 
@@ -663,28 +698,42 @@ impl Cluster {
         &mut self,
         sim: &mut Sim<W>,
         server: NodeId,
-        group: Vec<u64>,
+        group: Vec<OpKey>,
     ) {
         self.wals[server.index()].inflight = false;
         let now = sim.now();
         let apply_us = self.config.costs.apply_us;
         for op in group {
-            let Some(p) = self.pending.get(&op) else {
-                continue; // timed out; the mutation is still applied below
+            let Some(p) = self.pending.get_mut(op) else {
+                continue; // timed out; the slot is gone
             };
-            let (key, cell) = match &p.op {
-                StoreOp::Insert { key, value } | StoreOp::Update { key, value } => {
-                    (key.clone(), Cell::live(value.clone(), now))
+            let token = p.token;
+            // Move the parked write payload out; no clones on the apply path.
+            let (key, cell) = match std::mem::replace(&mut p.state, PendingState::Done) {
+                PendingState::Write {
+                    key,
+                    value: Some(v),
+                } => (key, Cell::live(v, now)),
+                PendingState::Write { key, value: None } => (key, Cell::tombstone(now)),
+                other => {
+                    p.state = other;
+                    continue;
                 }
-                StoreOp::Delete { key } => (key.clone(), Cell::tombstone(now)),
-                _ => continue,
             };
             let t_apply = self.servers[server.index()].cpu.acquire(now, apply_us);
-            self.tracer.record(op, Stage::Apply, server.0, now, t_apply);
+            self.tracer
+                .record(token, Stage::Apply, server.0, now, t_apply);
             let idx = self.regions.region_of(&key);
             self.regions.get_mut(idx).lsm.put(key, cell);
             self.maintain_region(sim, idx, t_apply);
-            self.respond(sim, op, server, t_apply, OpResult::Written { ts: now });
+            self.respond(
+                sim,
+                op,
+                token,
+                server,
+                t_apply,
+                OpResult::Written { ts: now },
+            );
         }
         // More writers queued while this group was in flight?
         if !self.wals[server.index()].waiting.is_empty() && self.is_up(server) {
@@ -762,23 +811,32 @@ impl Cluster {
         }
     }
 
-    fn on_scan_exec<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: u64, idx: usize, start: Key) {
-        if !self.pending.contains_key(&op) {
+    fn on_scan_exec<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        op: OpKey,
+        idx: usize,
+        start: Key,
+    ) {
+        let Some(p) = self.pending.get(op) else {
             return;
-        }
+        };
+        let token = p.token;
         let server = self.regions.get(idx).server;
         if !self.is_up(server) {
             self.metrics.server_down += 1;
-            self.pending.remove(&op);
+            self.pending.remove(op);
             self.completed.push(Completion {
-                token: op,
+                token,
                 result: OpResult::Error(OpError::ServerDown),
             });
             return;
         }
         let remaining = {
-            let p = self.pending.get(&op).expect("checked above");
-            let s = p.scan.as_ref().expect("scan state set at arrive");
+            let p = self.pending.get(op).expect("checked above");
+            let PendingState::Scan(s) = &p.state else {
+                unreachable!("scan state set at arrive")
+            };
             s.limit - s.collected.len()
         };
         let costs = self.config.costs;
@@ -786,7 +844,7 @@ impl Cluster {
             .cpu
             .acquire(sim.now(), costs.read_us);
         self.tracer
-            .record(op, Stage::ServerCpu, server.0, sim.now(), t1);
+            .record(token, Stage::ServerCpu, server.0, sim.now(), t1);
         let (rows, plan) = {
             let region = self.regions.get_mut(idx);
             let res = region.lsm.scan(&start, remaining);
@@ -805,15 +863,18 @@ impl Cluster {
             }
         }
         let t_io = t;
-        self.tracer.record(op, Stage::DiskIo, server.0, t1, t_io);
+        self.tracer.record(token, Stage::DiskIo, server.0, t1, t_io);
         let t = self.servers[server.index()]
             .cpu
             .acquire(t, costs.scan_row_us * rows.len() as u64);
-        self.tracer.record(op, Stage::ScanRows, server.0, t_io, t);
+        self.tracer
+            .record(token, Stage::ScanRows, server.0, t_io, t);
         let exhausted = rows.len() < remaining;
         let (done, next_start) = {
-            let p = self.pending.get_mut(&op).expect("checked above");
-            let s = p.scan.as_mut().expect("scan state");
+            let p = self.pending.get_mut(op).expect("checked above");
+            let PendingState::Scan(s) = &mut p.state else {
+                unreachable!("scan state")
+            };
             s.collected.extend(rows);
             let more = s.collected.len() < s.limit && exhausted && idx + 1 < self.regions.len();
             if more {
@@ -824,10 +885,13 @@ impl Cluster {
         };
         if done {
             let rows = {
-                let p = self.pending.get_mut(&op).expect("checked above");
-                std::mem::take(&mut p.scan.as_mut().expect("scan state").collected)
+                let p = self.pending.get_mut(op).expect("checked above");
+                let PendingState::Scan(s) = &mut p.state else {
+                    unreachable!("scan state")
+                };
+                std::mem::take(&mut s.collected)
             };
-            self.respond(sim, op, server, t, OpResult::Rows(rows));
+            self.respond(sim, op, token, server, t, OpResult::Rows(rows));
         } else if let Some(next) = next_start {
             // The client receives this leg's rows, then asks the next
             // region's server (client-mediated scanning, as in HBase).
@@ -836,9 +900,10 @@ impl Cluster {
             let next_server = self.regions.get(idx + 1).server;
             let arr = back + self.config.profile.nic.prop_us;
             let rx = self.servers[next_server.index()].nic.rx(arr, leg_bytes);
-            self.tracer.record(op, Stage::RespSend, server.0, t, back);
             self.tracer
-                .record(op, Stage::ClientSend, next_server.0, back, rx);
+                .record(token, Stage::RespSend, server.0, t, back);
+            self.tracer
+                .record(token, Stage::ClientSend, next_server.0, back, rx);
             sim.schedule_at(
                 rx,
                 W::from(Event::ScanExec {
@@ -850,21 +915,23 @@ impl Cluster {
         }
     }
 
-    fn on_timeout<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: u64) {
-        let Some(p) = self.pending.get(&op) else {
+    fn on_timeout<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: OpKey) {
+        let Some(p) = self.pending.get(op) else {
             return;
         };
         if p.responded {
             return; // Deliver is already scheduled; let it land.
         }
-        self.pending.remove(&op);
+        let token = p.token;
+        self.pending.remove(op);
         let at = sim.now() + self.config.profile.nic.prop_us;
         self.tracer
-            .record(op, Stage::RespSend, obs::CLIENT_NODE, sim.now(), at);
+            .record(token, Stage::RespSend, obs::CLIENT_NODE, sim.now(), at);
         sim.schedule_at(
             at,
             W::from(Event::Deliver {
-                token: op,
+                token,
+                op,
                 // Distinct from `ServerDown`: the server accepted the
                 // request and then went silent (crashed mid-flight), rather
                 // than being known-dead at routing time.

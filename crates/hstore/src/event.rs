@@ -1,6 +1,11 @@
 //! The cluster's internal event vocabulary.
+//!
+//! Internal events reference their operation by slab key ([`OpKey`], see
+//! [`simkit::slab`]): a late event whose op already completed carries a
+//! stale generation and resolves to nothing, replacing the old
+//! `HashMap`-miss semantics.
 
-use simkit::NodeId;
+use simkit::{NodeId, OpKey};
 use storage::{Key, OpResult};
 
 /// An internal simulation event of the HBase-analog cluster.
@@ -8,20 +13,20 @@ use storage::{Key, OpResult};
 pub enum Event {
     /// A client request fully arrived at its region server.
     Arrive {
-        /// Operation id (the driver token).
-        op: u64,
+        /// Slab key of the pending op.
+        op: OpKey,
     },
     /// A WAL group commit's pipeline round trip finished on a server.
     WalFlushDone {
         /// The region server whose WAL group completed.
         server: NodeId,
         /// The mutations covered by this group.
-        group: Vec<u64>,
+        group: Vec<OpKey>,
     },
     /// A scan leg arrived at the server of `region`.
     ScanExec {
-        /// Operation id.
-        op: u64,
+        /// Slab key of the pending op.
+        op: OpKey,
         /// Region index to scan.
         region: usize,
         /// First key of this leg.
@@ -31,13 +36,15 @@ pub enum Event {
     Deliver {
         /// The driver token.
         token: u64,
+        /// Slab key of the pending op (stale when the op timed out first).
+        op: OpKey,
         /// The outcome.
         result: OpResult,
     },
     /// Give up on an incomplete operation.
     Timeout {
-        /// Operation id.
-        op: u64,
+        /// Slab key of the pending op.
+        op: OpKey,
     },
     /// Trickle one chunk of throttled background (flush/compaction) disk
     /// I/O on a server.

@@ -1,0 +1,107 @@
+//! Slab vs HashMap for per-operation coordinator state, modelled on the
+//! dispatch path both cluster analogs run: a write arrives, its pending
+//! context is created, three replica acks come back (two lookups and a
+//! removal). The slab replaces hashing with an index + generation check
+//! and recycles slots instead of re-allocating buckets.
+
+use std::collections::HashMap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use simkit::{OpKey, Slab};
+
+/// A coordinator context shaped like the stores' `Pending` structs.
+#[derive(Clone)]
+struct Pending {
+    token: u64,
+    need: u32,
+    acks: u32,
+    payload: [u64; 8],
+}
+
+fn pending(token: u64) -> Pending {
+    Pending {
+        token,
+        need: 2,
+        acks: 0,
+        payload: [token; 8],
+    }
+}
+
+/// One simulated 3-replica write: insert, two mutating ack lookups (the
+/// second reaches quorum), then removal on the settle path.
+fn bench_dispatch(c: &mut Criterion) {
+    c.bench_function("dispatch_alloc/hashmap/write_3_replicas", |b| {
+        let mut map: HashMap<u64, Pending> = HashMap::new();
+        let mut token = 0u64;
+        b.iter(|| {
+            token += 1;
+            map.insert(token, pending(token));
+            for _ in 0..2 {
+                if let Some(p) = map.get_mut(&token) {
+                    p.acks += 1;
+                    if p.acks >= p.need {
+                        break;
+                    }
+                }
+            }
+            let done = map.remove(&token);
+            black_box(done.map(|p| p.payload[0]))
+        });
+    });
+
+    c.bench_function("dispatch_alloc/slab/write_3_replicas", |b| {
+        let mut slab: Slab<Pending> = Slab::new();
+        let mut token = 0u64;
+        b.iter(|| {
+            token += 1;
+            let key: OpKey = slab.insert(pending(token));
+            for _ in 0..2 {
+                if let Some(p) = slab.get_mut(key) {
+                    p.acks += 1;
+                    if p.acks >= p.need {
+                        break;
+                    }
+                }
+            }
+            let done = slab.remove(key);
+            black_box(done.map(|p| p.payload[0]))
+        });
+    });
+
+    // The failure-heavy variant: many contexts in flight at once, acks
+    // arriving out of order — closer to a saturated coordinator.
+    c.bench_function("dispatch_alloc/hashmap/64_in_flight", |b| {
+        let mut map: HashMap<u64, Pending> = HashMap::new();
+        let mut token = 0u64;
+        let mut live: Vec<u64> = Vec::with_capacity(64);
+        b.iter(|| {
+            while live.len() < 64 {
+                token += 1;
+                map.insert(token, pending(token));
+                live.push(token);
+            }
+            let t = live.swap_remove((token as usize * 31) % live.len());
+            let done = map.remove(&t);
+            black_box(done.map(|p| p.token))
+        });
+    });
+
+    c.bench_function("dispatch_alloc/slab/64_in_flight", |b| {
+        let mut slab: Slab<Pending> = Slab::new();
+        let mut token = 0u64;
+        let mut live: Vec<OpKey> = Vec::with_capacity(64);
+        b.iter(|| {
+            while live.len() < 64 {
+                token += 1;
+                live.push(slab.insert(pending(token)));
+            }
+            let k = live.swap_remove((token as usize * 31) % live.len());
+            let done = slab.remove(k);
+            black_box(done.map(|p| p.token))
+        });
+    });
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

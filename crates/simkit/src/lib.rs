@@ -10,9 +10,14 @@
 //! The kernel is intentionally small:
 //!
 //! * [`SimTime`] — virtual time in microseconds.
-//! * [`EventQueue`] / [`Sim`] — a binary-heap event queue with a stable
-//!   tie-break, plus the simulation context (clock + queue + RNG) that models
-//!   schedule into.
+//! * [`EventQueue`] / [`Sim`] — a calendar-queue (time-wheel) event queue
+//!   with a stable `(time, seq)` tie-break — the original binary heap is
+//!   retained as a differential reference and `SIM_QUEUE=heap` escape
+//!   hatch — plus the simulation context (clock + queue + RNG) that
+//!   models schedule into.
+//! * [`slab`] — generational slab storage ([`Slab`]/[`OpKey`]) for
+//!   in-flight op contexts, replacing `HashMap`-backed per-op state on
+//!   dispatch paths.
 //! * [`resource`] — analytic FIFO queueing resources: single-server
 //!   ([`FifoResource`]), multi-server ([`MultiServer`], used for CPU cores).
 //!   Because events are dispatched in time order, calling
@@ -36,13 +41,15 @@ pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod sim;
+pub mod slab;
 pub mod time;
 pub mod topology;
 
 pub use hardware::{Disk, DiskProfile, Nic, NicProfile, NodeHw, NodeProfile};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueKind};
 pub use resource::{FifoResource, MultiServer};
 pub use rng::SimRng;
 pub use sim::Sim;
+pub use slab::{OpKey, Slab};
 pub use time::{SimTime, MICROS_PER_MILLI, MICROS_PER_SEC};
 pub use topology::{NodeId, Topology};

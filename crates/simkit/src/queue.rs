@@ -1,13 +1,68 @@
-//! The event queue: a binary heap ordered by `(time, sequence)`.
+//! The event queue: a bucketed calendar queue ordered by `(time, sequence)`,
+//! with the original binary heap kept for differential testing.
 //!
 //! The sequence number makes dispatch order total and deterministic: two
 //! events scheduled for the same instant fire in the order they were
-//! scheduled, independent of heap internals.
+//! scheduled, independent of container internals. Both implementations pop
+//! the exact same `(time, seq)` sequence — [`CalendarQueue`] is verified
+//! against [`HeapQueue`] by `tests/queue_equivalence.rs` — so swapping one
+//! for the other cannot change any simulation result, only its wall-clock
+//! cost.
+//!
+//! # Why a calendar queue
+//!
+//! A discrete-event simulation pops every event it pushes, in near-time
+//! order. A binary heap pays `O(log n)` comparisons *and* `O(log n)`
+//! whole-payload moves per operation (event payloads here are fat enums of
+//! 50–150 bytes, so each sift level is a memcpy). The calendar queue
+//! instead hashes each event to a time bucket in O(1); only the single
+//! bucket at the cursor is kept sorted, and buckets hold a handful of
+//! events each at realistic pending counts, so pushes are appends and pops
+//! are pops-from-the-end almost always.
+//!
+//! Layout: a power-of-two ring of `BUCKETS` buckets, each `1 << shift`
+//! microseconds wide, covering a rotating window of `BUCKETS << shift`
+//! microseconds from the cursor. Events beyond the window land in a
+//! far-future overflow lane (a min-heap on `(time, seq)`) and migrate into
+//! the wheel when the window reaches them. Events inside the window go
+//! straight to their bucket, unsorted; a bucket is sorted lazily when the
+//! cursor reaches it, and same-bucket pushes after that point insert in
+//! order (binary search).
+//!
+//! The bucket width adapts to event density, following Brown's classic
+//! calendar-queue design: when the cursor bucket comes up fat the wheel
+//! narrows (so pushes spread across many cheap unsorted buckets instead of
+//! binary-inserting into one huge sorted one), and when the cursor keeps
+//! crossing empty buckets it widens (so sparse schedules don't pay a long
+//! walk per event). Rebuilds redistribute in O(pending) and are triggered
+//! geometrically, so their cost amortizes away; they change only the
+//! internal layout, never the `(time, seq)` pop order.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
+
+/// Queue implementation selector, read from the `SIM_QUEUE` environment
+/// variable: `heap` selects the reference [`HeapQueue`] (bisection escape
+/// hatch), anything else (or unset) the [`CalendarQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// The bucketed calendar queue (default).
+    Calendar,
+    /// The reference binary heap.
+    Heap,
+}
+
+impl QueueKind {
+    /// The kind selected by the `SIM_QUEUE` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("SIM_QUEUE") {
+            Ok(v) if v.eq_ignore_ascii_case("heap") => Self::Heap,
+            _ => Self::Calendar,
+        }
+    }
+}
 
 struct Entry<E> {
     time: SimTime,
@@ -36,9 +91,331 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A time-ordered queue of simulation events.
-pub struct EventQueue<E> {
+/// The original binary-heap event queue, kept as the differential-testing
+/// reference and as the `SIM_QUEUE=heap` bisection escape hatch.
+pub struct HeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Insert an event with its total-order key.
+    #[inline]
+    fn push(&mut self, time: SimTime, seq: u64, event: E) {
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Remove and return the earliest entry.
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Fire time of the earliest pending event, if any.
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Initial log2 of the bucket width: 256 µs buckets, sized for the cluster
+/// models' typical follow-up delays. The wheel adapts from here.
+const INIT_SHIFT: u32 = 8;
+/// Widest bucket the wheel will adapt to: 2^22 µs ≈ 4.2 s per bucket
+/// (window ≈ 4.8 h), enough for fault plans and GC-pause cadences.
+const MAX_SHIFT: u32 = 22;
+/// Bucket count (power of two). At the initial width the window is
+/// 4096 × 256 µs ≈ 1.05 s, which covers RPC timeouts; only multi-second
+/// schedules (GC pause intervals, fault plans) take the overflow lane.
+const BUCKETS: usize = 4096;
+const BUCKET_MASK: u64 = (BUCKETS as u64) - 1;
+/// A cursor bucket fatter than this at sort time triggers narrowing
+/// (unless already at 1 µs buckets, where ties simply pile up).
+const NARROW_LIMIT: usize = 64;
+/// Target cursor-bucket population a narrow aims for.
+const NARROW_TARGET: usize = 8;
+/// This many consecutive empty-bucket advances trigger widening.
+const WIDEN_LIMIT: u32 = 256;
+
+/// A bucketed calendar queue (time wheel with a sorted-overflow far-future
+/// lane) popping the exact `(time, seq)` total order of [`HeapQueue`].
+pub struct CalendarQueue<E> {
+    /// The ring of buckets. Bucket index of an in-window event is
+    /// `(time >> shift) & BUCKET_MASK`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Log2 of the current bucket width in µs (adaptive).
+    shift: u32,
+    /// Inclusive low edge of the cursor's bucket. Every queued in-wheel
+    /// event has `time >= wheel_start` and `time < wheel_start + window`.
+    wheel_start: SimTime,
+    /// Events stored in wheel buckets.
+    wheel_len: usize,
+    /// True once the cursor bucket has been sorted (descending, so the
+    /// earliest entry pops from the end). Pushes into the sorted cursor
+    /// bucket insert in place to keep the invariant.
+    cursor_sorted: bool,
+    /// Consecutive empty-bucket cursor advances since the last pop; the
+    /// widen trigger's counter.
+    empty_steps: u32,
+    /// Far-future lane: a min-heap on `(time, seq)` of events at or beyond
+    /// `wheel_start + window`. An event migrates into the wheel when the
+    /// window reaches it (at most once per wheel geometry).
+    overflow: BinaryHeap<Entry<E>>,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, Vec::new);
+        Self {
+            buckets,
+            shift: INIT_SHIFT,
+            wheel_start: 0,
+            wheel_len: 0,
+            cursor_sorted: false,
+            empty_steps: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Current bucket width in µs.
+    #[inline]
+    fn width(&self) -> u64 {
+        1 << self.shift
+    }
+
+    /// Exclusive high edge of the wheel window.
+    #[inline]
+    fn window_end(&self) -> SimTime {
+        self.wheel_start + ((BUCKETS as u64) << self.shift)
+    }
+
+    #[inline]
+    fn bucket_of(&self, time: SimTime) -> usize {
+        ((time >> self.shift) & BUCKET_MASK) as usize
+    }
+
+    #[inline]
+    fn cursor(&self) -> usize {
+        self.bucket_of(self.wheel_start)
+    }
+
+    /// Re-key every wheel event into a new bucket geometry. O(pending);
+    /// triggered geometrically, so the cost amortizes to O(1) per event.
+    /// Pop order is untouched: only the layout changes.
+    fn rebuild(&mut self, new_shift: u32) {
+        let mut scratch: Vec<Entry<E>> = Vec::with_capacity(self.wheel_len);
+        for b in &mut self.buckets {
+            scratch.append(b);
+        }
+        self.shift = new_shift;
+        // Align the anchor down to the new width; every wheel event's time
+        // is >= wheel_start, so rounding down keeps that invariant.
+        self.wheel_start &= !(self.width() - 1);
+        self.wheel_len = 0;
+        self.cursor_sorted = false;
+        let end = self.window_end();
+        for e in scratch {
+            if e.time >= end {
+                // Narrowing shrank the window below this event; it waits
+                // in the overflow lane like any far-future event.
+                self.overflow.push(e);
+            } else {
+                let idx = self.bucket_of(e.time);
+                self.buckets[idx].push(e);
+                self.wheel_len += 1;
+            }
+        }
+        // Widening may have grown the window over overflow events.
+        self.migrate_overflow();
+    }
+
+    /// Insert an event with its total-order key. `time` may be below
+    /// `wheel_start` only before the first pop (the wheel re-anchors then).
+    fn push(&mut self, time: SimTime, seq: u64, event: E) {
+        if time >= self.window_end() || time < self.wheel_start {
+            // Far future — or, before the first pop, behind the initial
+            // anchor: both take the ordered overflow lane. Pops migrate
+            // and re-anchor as needed.
+            self.overflow.push(Entry { time, seq, event });
+            return;
+        }
+        let idx = self.bucket_of(time);
+        let cursor = self.cursor();
+        let bucket = &mut self.buckets[idx];
+        if self.cursor_sorted && idx == cursor {
+            // The cursor bucket is kept sorted descending; insert in place.
+            let pos = bucket.partition_point(|e| (e.time, e.seq) > (time, seq));
+            bucket.insert(pos, Entry { time, seq, event });
+        } else {
+            bucket.push(Entry { time, seq, event });
+        }
+        self.wheel_len += 1;
+    }
+
+    /// Remove and return the earliest entry.
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            if self.wheel_len == 0 {
+                // Wheel drained: fast-forward to the overflow minimum.
+                let head = self.overflow.peek()?;
+                let anchor = head.time & !(self.width() - 1);
+                self.wheel_start = anchor;
+                self.cursor_sorted = false;
+                self.empty_steps = 0;
+                self.migrate_overflow();
+                continue;
+            }
+            let cursor = self.cursor();
+            if self.buckets[cursor].is_empty() {
+                // Advance one bucket; pull any overflow events the moving
+                // window has just reached.
+                self.wheel_start += self.width();
+                self.cursor_sorted = false;
+                self.empty_steps += 1;
+                if self.empty_steps >= WIDEN_LIMIT && self.shift < MAX_SHIFT {
+                    // The schedule is sparse at this width: widen so a pop
+                    // costs a few bucket steps, not hundreds.
+                    self.empty_steps = 0;
+                    self.rebuild((self.shift + 2).min(MAX_SHIFT));
+                    continue;
+                }
+                self.migrate_overflow();
+                continue;
+            }
+            if !self.cursor_sorted {
+                let len = self.buckets[cursor].len();
+                if len > NARROW_LIMIT && self.shift > 0 {
+                    // The schedule is dense at this width: narrow so this
+                    // population spreads over ~len/NARROW_TARGET unsorted
+                    // buckets instead of one huge sorted one. Same-instant
+                    // ties cannot split, so the delta caps at shift 0.
+                    let mut delta = 0;
+                    while (len >> delta) > NARROW_TARGET && delta < self.shift {
+                        delta += 1;
+                    }
+                    if delta > 0 {
+                        self.rebuild(self.shift - delta);
+                        continue;
+                    }
+                }
+                // Sort descending so the earliest entry is at the end.
+                // Buckets usually fill already ascending — same-tick events
+                // arrive in seq order, migrations append in heap order — so
+                // detect that case and reverse in O(len) instead.
+                let bucket = &mut self.buckets[cursor];
+                let ascending = bucket
+                    .windows(2)
+                    .all(|w| (w[0].time, w[0].seq) <= (w[1].time, w[1].seq));
+                if ascending {
+                    bucket.reverse();
+                } else {
+                    bucket.sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+                }
+                self.cursor_sorted = true;
+            }
+            let e = self.buckets[cursor].pop().expect("non-empty bucket");
+            self.wheel_len -= 1;
+            self.empty_steps = 0;
+            return Some((e.time, e.event));
+        }
+    }
+
+    /// Move overflow events that now fall inside the window into their
+    /// buckets. Amortized O(1) per event over a run: each migrates once.
+    fn migrate_overflow(&mut self) {
+        let end = self.window_end();
+        while let Some(head) = self.overflow.peek() {
+            if head.time >= end {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked");
+            debug_assert!(e.time >= self.wheel_start);
+            let idx = self.bucket_of(e.time);
+            if self.cursor_sorted && idx == self.cursor() {
+                let key = (e.time, e.seq);
+                let pos = self.buckets[idx].partition_point(|x| (x.time, x.seq) > key);
+                self.buckets[idx].insert(pos, e);
+            } else {
+                self.buckets[idx].push(e);
+            }
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Fire time of the earliest pending event, if any. (O(window scan) in
+    /// the worst case; used by drivers for occasional peeks, not per-pop.)
+    fn peek_time(&self) -> Option<SimTime> {
+        let mut best: Option<(SimTime, u64)> = None;
+        if self.wheel_len > 0 {
+            let mut idx = self.cursor();
+            let mut start = self.wheel_start;
+            let end = self.window_end();
+            while start < end {
+                let b = &self.buckets[idx];
+                if !b.is_empty() {
+                    let m = b
+                        .iter()
+                        .map(|e| (e.time, e.seq))
+                        .min()
+                        .expect("non-empty bucket");
+                    best = Some(m);
+                    break;
+                }
+                idx = (idx + 1) & (BUCKET_MASK as usize);
+                start += self.width();
+            }
+        }
+        if let Some(h) = self.overflow.peek() {
+            let key = (h.time, h.seq);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(t, _)| t)
+    }
+
+    /// Number of pending events.
+    fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+}
+
+enum Impl<E> {
+    Calendar(CalendarQueue<E>),
+    Heap(HeapQueue<E>),
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// Dispatch order is the total `(time, seq)` order in both backends; the
+/// backend only changes wall-clock cost. [`EventQueue::new`] honours the
+/// `SIM_QUEUE=heap` escape hatch for bisection.
+pub struct EventQueue<E> {
+    inner: Impl<E>,
     seq: u64,
 }
 
@@ -49,39 +426,68 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Create an empty queue.
+    /// Create an empty queue with the backend selected by `SIM_QUEUE`
+    /// (calendar unless `SIM_QUEUE=heap`).
     pub fn new() -> Self {
-        Self {
-            heap: BinaryHeap::new(),
-            seq: 0,
+        Self::with_kind(QueueKind::from_env())
+    }
+
+    /// Create an empty queue with an explicit backend.
+    pub fn with_kind(kind: QueueKind) -> Self {
+        let inner = match kind {
+            QueueKind::Calendar => Impl::Calendar(CalendarQueue::new()),
+            QueueKind::Heap => Impl::Heap(HeapQueue::new()),
+        };
+        Self { inner, seq: 0 }
+    }
+
+    /// The backend this queue runs on.
+    pub fn kind(&self) -> QueueKind {
+        match self.inner {
+            Impl::Calendar(_) => QueueKind::Calendar,
+            Impl::Heap(_) => QueueKind::Heap,
         }
     }
 
     /// Schedule `event` to fire at absolute time `time`.
+    #[inline]
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        match &mut self.inner {
+            Impl::Calendar(q) => q.push(time, seq, event),
+            Impl::Heap(q) => q.push(time, seq, event),
+        }
     }
 
     /// Remove and return the earliest event, with its fire time.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        match &mut self.inner {
+            Impl::Calendar(q) => q.pop(),
+            Impl::Heap(q) => q.pop(),
+        }
     }
 
     /// Fire time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match &self.inner {
+            Impl::Calendar(q) => q.peek_time(),
+            Impl::Heap(q) => q.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.inner {
+            Impl::Calendar(q) => q.len(),
+            Impl::Heap(q) => q.len(),
+        }
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -89,51 +495,127 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn both() -> [EventQueue<i32>; 2] {
+        [
+            EventQueue::with_kind(QueueKind::Calendar),
+            EventQueue::with_kind(QueueKind::Heap),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(30, "c");
-        q.push(10, "a");
-        q.push(20, "b");
-        assert_eq!(q.pop(), Some((10, "a")));
-        assert_eq!(q.pop(), Some((20, "b")));
-        assert_eq!(q.pop(), Some((30, "c")));
-        assert_eq!(q.pop(), None);
+        for mut q in both() {
+            q.push(30, 3);
+            q.push(10, 1);
+            q.push(20, 2);
+            assert_eq!(q.pop(), Some((10, 1)));
+            assert_eq!(q.pop(), Some((20, 2)));
+            assert_eq!(q.pop(), Some((30, 3)));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(5, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((5, i)));
+        for mut q in both() {
+            for i in 0..100 {
+                q.push(5, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((5, i)));
+            }
         }
     }
 
     #[test]
     fn peek_does_not_remove() {
-        let mut q = EventQueue::new();
-        q.push(7, ());
-        assert_eq!(q.peek_time(), Some(7));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
-        q.pop();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
+        for mut q in both() {
+            q.push(7, 0);
+            assert_eq!(q.peek_time(), Some(7));
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+            q.pop();
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+        }
     }
 
     #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new();
-        q.push(10, 10);
-        q.push(5, 5);
-        assert_eq!(q.pop(), Some((5, 5)));
-        q.push(1, 1);
-        q.push(20, 20);
-        assert_eq!(q.pop(), Some((1, 1)));
-        assert_eq!(q.pop(), Some((10, 10)));
-        assert_eq!(q.pop(), Some((20, 20)));
+        for mut q in both() {
+            q.push(10, 10);
+            q.push(5, 5);
+            assert_eq!(q.pop(), Some((5, 5)));
+            q.push(1, 1);
+            q.push(20, 20);
+            assert_eq!(q.pop(), Some((1, 1)));
+            assert_eq!(q.pop(), Some((10, 10)));
+            assert_eq!(q.pop(), Some((20, 20)));
+        }
+    }
+
+    #[test]
+    fn far_future_overflow_lane_round_trips() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        // Beyond the ~1s wheel window: multi-second and far-future times.
+        q.push(10_000_000, 1);
+        q.push(3_000_000, 2);
+        q.push(500, 3);
+        q.push(u64::MAX / 2, 4);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((500, 3)));
+        assert_eq!(q.pop(), Some((3_000_000, 2)));
+        assert_eq!(q.pop(), Some((10_000_000, 1)));
+        assert_eq!(q.pop(), Some((u64::MAX / 2, 4)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_into_sorted_cursor_bucket_keeps_order() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        q.push(100, 0);
+        q.push(101, 1);
+        assert_eq!(q.pop(), Some((100, 0)));
+        // The cursor bucket is now sorted; these land inside it.
+        q.push(101, 9); // after (101, seq=1) by seq
+        q.push(100, 8); // same instant as the popped event
+        assert_eq!(q.pop(), Some((100, 8)));
+        assert_eq!(q.pop(), Some((101, 1)));
+        assert_eq!(q.pop(), Some((101, 9)));
+    }
+
+    #[test]
+    fn sparse_times_fast_forward() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        // Each pop must fast-forward across an empty wheel, not walk it.
+        for i in 0..50u64 {
+            q.push(i * 60_000_000, i as i32);
+        }
+        for i in 0..50u64 {
+            assert_eq!(q.pop(), Some((i * 60_000_000, i as i32)));
+        }
+    }
+
+    #[test]
+    fn overflow_migration_interleaves_with_window_events() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        q.push(2_000_000, 1); // overflow at anchor 0
+        q.push(100, 2);
+        assert_eq!(q.pop(), Some((100, 2)));
+        // New events around the migrated one, pushed after the wheel moved.
+        q.push(1_999_999, 3);
+        q.push(2_000_001, 4);
+        assert_eq!(q.pop(), Some((1_999_999, 3)));
+        assert_eq!(q.pop(), Some((2_000_000, 1)));
+        assert_eq!(q.pop(), Some((2_000_001, 4)));
+    }
+
+    #[test]
+    fn env_escape_hatch_selects_heap() {
+        assert_eq!(QueueKind::from_env(), QueueKind::Calendar);
+        std::env::set_var("SIM_QUEUE", "heap");
+        assert_eq!(QueueKind::from_env(), QueueKind::Heap);
+        std::env::remove_var("SIM_QUEUE");
+        assert_eq!(QueueKind::from_env(), QueueKind::Calendar);
     }
 }

@@ -1,0 +1,114 @@
+//! Differential property tests: the calendar queue must pop the exact
+//! `(time, seq)` total order of the reference binary heap under arbitrary
+//! push/pop interleavings. Since every simulation result is a pure
+//! function of dispatch order, this equivalence is what makes the queue
+//! swap invisible to every experiment.
+
+use proptest::prelude::*;
+use simkit::{EventQueue, QueueKind};
+
+/// One step of an interleaved schedule.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Push at `last_popped_time + offset` (queues forbid the past once
+    /// popping starts; offsets keep schedules valid by construction).
+    Push(u64),
+    /// Pop once and record the result.
+    Pop,
+}
+
+/// Decode a raw `(selector, value)` pair into a schedule step, weighting
+/// the regimes the wheel must handle: near-future pushes (its fast path),
+/// same-instant ties (insertion order is the only order left), far-future
+/// pushes (the overflow lane), and pops.
+fn decode(sel: u8, raw: u64) -> Step {
+    match sel {
+        // Mostly near-future pushes: the regime the wheel optimizes.
+        0..=3 => Step::Push(raw % 2_000),
+        // Same-instant pushes: tie-break order must match exactly.
+        4 => Step::Push(0),
+        // Far-future pushes: exercise the overflow lane and migration.
+        5 => Step::Push(2_000_000 + raw % 4_000_000_000),
+        _ => Step::Pop,
+    }
+}
+
+/// A pop log: the `(time, event)` sequence one backend produced.
+type PopLog = Vec<(u64, u64)>;
+
+/// Run one schedule against both backends and return their pop logs.
+fn run_both(steps: &[Step]) -> (PopLog, PopLog) {
+    let mut logs: Vec<PopLog> = Vec::new();
+    for kind in [QueueKind::Calendar, QueueKind::Heap] {
+        let mut q: EventQueue<u64> = EventQueue::with_kind(kind);
+        let mut log = Vec::new();
+        let mut clock = 0u64; // last popped time: the sim's `now`
+        let mut id = 0u64;
+        for step in steps {
+            match step {
+                Step::Push(offset) => {
+                    q.push(clock + offset, id);
+                    id += 1;
+                }
+                Step::Pop => {
+                    if let Some((t, ev)) = q.pop() {
+                        assert!(t >= clock, "time went backwards");
+                        clock = t;
+                        log.push((t, ev));
+                    }
+                }
+            }
+        }
+        // Drain what's left: the full order must agree, not just a prefix.
+        while let Some((t, ev)) = q.pop() {
+            assert!(t >= clock);
+            clock = t;
+            log.push((t, ev));
+        }
+        logs.push(log);
+    }
+    let heap = logs.pop().expect("two logs");
+    let calendar = logs.pop().expect("two logs");
+    (calendar, heap)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary interleavings: identical pop sequences, event for event.
+    #[test]
+    fn calendar_matches_heap(
+        raw in prop::collection::vec((0u8..9, 0u64..u64::MAX / 2), 0..400)
+    ) {
+        let steps: Vec<Step> = raw.iter().map(|&(s, v)| decode(s, v)).collect();
+        let (calendar, heap) = run_both(&steps);
+        prop_assert_eq!(calendar, heap);
+    }
+
+    /// All-ties stress: every event at the same instant; insertion order
+    /// is the only order left and both backends must honour it.
+    #[test]
+    fn same_instant_ties_preserve_insertion_order(n in 0usize..300) {
+        let steps: Vec<Step> = vec![Step::Push(0); n];
+        let (calendar, heap) = run_both(&steps);
+        prop_assert_eq!(calendar.clone(), heap);
+        for (i, &(t, ev)) in calendar.iter().enumerate() {
+            prop_assert_eq!(t, 0);
+            prop_assert_eq!(ev, i as u64);
+        }
+    }
+
+    /// Far-future-only schedules live entirely in the overflow lane and
+    /// still match the heap through migration and wheel fast-forwards.
+    #[test]
+    fn overflow_lane_matches_heap(
+        offsets in prop::collection::vec(1_000_000u64..1 << 40, 1..100)
+    ) {
+        let steps: Vec<Step> = offsets
+            .iter()
+            .flat_map(|&o| [Step::Push(o), Step::Pop])
+            .collect();
+        let (calendar, heap) = run_both(&steps);
+        prop_assert_eq!(calendar, heap);
+    }
+}

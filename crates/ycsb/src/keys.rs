@@ -32,8 +32,19 @@ pub fn fnv_scramble(id: u64) -> u64 {
 }
 
 /// Encode a raw 64-bit key-space position as an ordered key.
+///
+/// Digits are written directly into a stack buffer — this sits on the
+/// driver's per-op issue path, where a `format!` round trip (its
+/// formatting machinery plus an intermediate `String`) is measurable.
 pub fn encode_point(raw: u64) -> Bytes {
-    Bytes::from(format!("user{raw:0KEY_DIGITS$}").into_bytes())
+    let mut buf = [0u8; 4 + KEY_DIGITS];
+    buf[..4].copy_from_slice(b"user");
+    let mut v = raw;
+    for slot in buf[4..].iter_mut().rev() {
+        *slot = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
+    Bytes::copy_from_slice(&buf)
 }
 
 /// Encode record id `id` as its (hashed, scattered) key.
@@ -86,6 +97,57 @@ impl KeySpace {
         let id = self.count;
         self.count += 1;
         (id, encode_key(id))
+    }
+}
+
+/// A per-run interner for generated keys: a direct-mapped cache from
+/// record id to its encoded key.
+///
+/// The request distributions the experiments run (zipfian, latest,
+/// hotspot) touch a small set of hot ids over and over; interning turns
+/// every repeat encoding into a slot probe plus a `Bytes` refcount bump.
+/// The cache is bounded (direct-mapped, power-of-two slots), so a
+/// uniform distribution degrades to plain encoding plus one array write —
+/// never to unbounded memory growth.
+#[derive(Debug, Clone)]
+pub struct KeyInterner {
+    slots: Vec<Option<(u64, Bytes)>>,
+    mask: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl KeyInterner {
+    /// An interner with at least `capacity` slots (rounded up to a power
+    /// of two).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1).next_power_of_two();
+        Self {
+            slots: vec![None; cap],
+            mask: cap - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The (hashed, scattered) key of record `id`, cached.
+    pub fn key(&mut self, id: u64) -> Bytes {
+        let slot = (id as usize) & self.mask;
+        if let Some((cached, key)) = &self.slots[slot] {
+            if *cached == id {
+                self.hits += 1;
+                return key.clone();
+            }
+        }
+        self.misses += 1;
+        let key = encode_key(id);
+        self.slots[slot] = Some((id, key.clone()));
+        key
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 }
 
@@ -202,6 +264,42 @@ mod tests {
         let distinct: std::collections::HashSet<_> =
             (0..100).map(|_| pool.next(&mut rng).to_vec()).collect();
         assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn encode_point_matches_formatted_reference() {
+        for raw in [0u64, 7, 999, 10u64.pow(19), u64::MAX] {
+            assert_eq!(
+                encode_point(raw).as_ref(),
+                format!("user{raw:0KEY_DIGITS$}").as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn interner_returns_identical_keys_and_counts_hits() {
+        let mut it = KeyInterner::new(16);
+        let a1 = it.key(3);
+        let a2 = it.key(3);
+        assert_eq!(a1, a2);
+        assert_eq!(a1, encode_key(3));
+        assert_eq!(it.stats(), (1, 1));
+        // Colliding slot (3 and 19 share slot 3 with 16 slots): both still
+        // encode correctly, evicting each other.
+        let b = it.key(19);
+        assert_eq!(b, encode_key(19));
+        assert_eq!(it.key(3), encode_key(3));
+        assert_eq!(it.stats(), (1, 3));
+    }
+
+    #[test]
+    fn interner_capacity_rounds_up() {
+        let mut it = KeyInterner::new(0);
+        assert_eq!(it.key(0), encode_key(0));
+        let mut it = KeyInterner::new(1000);
+        for id in 0..5000u64 {
+            assert_eq!(it.key(id), encode_key(id));
+        }
     }
 
     #[test]

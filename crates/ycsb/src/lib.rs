@@ -33,7 +33,7 @@ pub mod workload;
 
 pub use client::Throttle;
 pub use generator::RequestDistribution;
-pub use keys::{balanced_tokens, encode_key, encode_point, KeySpace, ValuePool};
+pub use keys::{balanced_tokens, encode_key, encode_point, KeyInterner, KeySpace, ValuePool};
 pub use stats::{Histogram, ResilienceCounters, RunMetrics, Timeline, TimelineWindow};
 pub use validate::StalenessTracker;
 pub use workload::{DistributionKind, OpMix, WorkloadSpec};
