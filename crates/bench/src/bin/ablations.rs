@@ -2,8 +2,7 @@
 //! durability, and failover phases. Writes CSVs under `results/`.
 
 use bench_core::ablation::{
-    ablate_commitlog, ablate_partitioner, ablate_read_repair, failover_phases, geo_read_latency,
-    AblationConfig,
+    ablate_commitlog, ablate_partitioner, ablate_read_repair, failover_phases, AblationConfig,
 };
 
 fn main() {
@@ -27,11 +26,6 @@ fn main() {
     let fo = failover_phases(&cfg);
     println!("{}", fo.render());
     fo.write_csv(&bench::results_dir().join("extension_failover.csv"))
-        .expect("write csv");
-
-    let geo = geo_read_latency(&cfg, 25_000);
-    println!("{}", geo.render());
-    geo.write_csv(&bench::results_dir().join("extension_geo.csv"))
         .expect("write csv");
 
     let part = ablate_partitioner(&cfg);

@@ -1,0 +1,37 @@
+//! Regenerates Fig. 7: the geo-replication PACELC experiment.
+//!
+//! Region counts {1, 2, 3} × consistency levels ONE / LOCAL_QUORUM /
+//! QUORUM / EACH_QUORUM / write-ALL (Cassandra analog, NetworkTopology
+//! placement with per-DC replica quotas) plus the HBase analog's async
+//! cluster-replication mode (primary region serves, WAL ships to follower
+//! regions). Prints one panel per region count and writes every cell to
+//! `results/fig7_geo.csv`.
+
+use bench_core::geo_experiment::{run_geo, GeoExperimentConfig};
+
+fn main() {
+    let cfg = if bench::quick_requested() {
+        GeoExperimentConfig::quick()
+    } else {
+        GeoExperimentConfig::default()
+    };
+    eprintln!(
+        "fig7: {} records, regions {:?}, {} nodes/region, rf {}/dc, wan {}µs (±{:.0}%), {} threads",
+        cfg.scale.records,
+        cfg.region_counts,
+        cfg.nodes_per_region,
+        cfg.rf_per_dc,
+        cfg.inter_region_us,
+        cfg.wan_jitter * 100.0,
+        cfg.threads,
+    );
+    let started = std::time::Instant::now();
+    let result = run_geo(&cfg);
+    eprintln!("fig7: done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!("fig7: {}", result.telemetry.summary());
+
+    println!("{}", result.render());
+    let path = bench::results_dir().join("fig7_geo.csv");
+    result.table().write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

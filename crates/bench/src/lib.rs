@@ -16,6 +16,9 @@
 //! * `fig6` — latency decomposition (every op span-traced, critical paths
 //!   extracted, virtual time attributed to pipeline stages — where does
 //!   the time go, both stores × RF × consistency).
+//! * `fig7` — geo-replication PACELC sweep (region count × consistency
+//!   level over multi-datacenter topologies: DC-aware quorums on the
+//!   Cassandra analog, async WAL shipping on the HBase analog).
 //! * `ablations` — beyond-paper ablations (read repair, commit-log
 //!   durability, failover phases).
 //!

@@ -12,7 +12,7 @@
 
 use cstore::{CommitlogSync, Consistency};
 use faults::FaultPlan;
-use simkit::{NodeId, Topology};
+use simkit::NodeId;
 use ycsb::WorkloadSpec;
 
 use crate::driver::{self, DriverConfig};
@@ -277,94 +277,6 @@ mod tests {
         let down_row = &t.rows[1];
         assert_eq!(down_row[0], "cstore node down");
         assert_eq!(down_row[4], "0", "CL=ONE should ride through: {down_row:?}");
-    }
-}
-
-/// Extension — the geo-distributed testbed the paper's §6 calls for:
-/// replicas spread over three "regions" with a configurable inter-region
-/// one-way delay. Shows how each consistency level's latency responds to
-/// geography (the PACELC "EL" leg): ONE stays local-ish, QUORUM pays one
-/// cross-region round trip, write-ALL pays the farthest replica.
-pub fn geo_read_latency(cfg: &AblationConfig, inter_region_us: u64) -> Table {
-    let mut t = Table::new(
-        &format!(
-            "Extension — geo-distributed replicas (3 regions, {:.0} ms one-way inter-region)",
-            inter_region_us as f64 / 1_000.0
-        ),
-        &[
-            "consistency",
-            "topology",
-            "throughput",
-            "mean latency",
-            "stale%",
-        ],
-    );
-    let mut specs: Vec<(&'static str, Consistency, Consistency, &'static str, u32)> = Vec::new();
-    for (name, read, write) in [
-        ("ONE", Consistency::One, Consistency::One),
-        ("QUORUM", Consistency::Quorum, Consistency::Quorum),
-        ("write ALL", Consistency::One, Consistency::All),
-    ] {
-        for (label, racks) in [("single rack", 1u32), ("3 regions", 3)] {
-            specs.push((name, read, write, label, racks));
-        }
-    }
-    let rows = Sweep::from_env()
-        .run(cfg.seed, &specs, |_, &(name, read, write, label, racks)| {
-            let nodes = cfg.scale.nodes;
-            let mut store = build_cstore_with(&cfg.scale, 3, read, write, |c| {
-                c.topology = if racks == 1 {
-                    Topology::single_rack(nodes, c.profile.nic.prop_us)
-                } else {
-                    Topology::racks(nodes, racks, c.profile.nic.prop_us, inter_region_us)
-                };
-            });
-            driver::load(&mut store, cfg.scale.records, cfg.scale.value_len, cfg.seed);
-            let out = driver::run(&mut store, &cfg.driver(WorkloadSpec::read_update()));
-            vec![
-                name.into(),
-                label.into(),
-                crate::report::fmt_ops(out.throughput),
-                fmt_us(out.mean_latency_us),
-                format!("{:.3}%", out.stale_fraction * 100.0),
-            ]
-        })
-        .results;
-    for row in rows {
-        t.row(row);
-    }
-    t
-}
-
-#[cfg(test)]
-mod geo_tests {
-    use super::*;
-
-    #[test]
-    fn geography_hurts_higher_consistency_more() {
-        let cfg = AblationConfig::quick();
-        let t = geo_read_latency(&cfg, 25_000);
-        assert_eq!(t.rows.len(), 6);
-        let ms = |s: &str| -> f64 {
-            s.trim_end_matches("ms")
-                .trim_end_matches("us")
-                .parse::<f64>()
-                .unwrap_or(0.0)
-                * if s.ends_with("ms") { 1_000.0 } else { 1.0 }
-        };
-        // Rows: (ONE, single), (ONE, geo), (QUORUM, single), (QUORUM, geo),
-        //       (ALL, single), (ALL, geo).
-        let one_penalty = ms(&t.rows[1][3]) - ms(&t.rows[0][3]);
-        let quorum_penalty = ms(&t.rows[3][3]) - ms(&t.rows[2][3]);
-        let all_penalty = ms(&t.rows[5][3]) - ms(&t.rows[4][3]);
-        assert!(
-            quorum_penalty > one_penalty,
-            "QUORUM should pay more for geography: ONE +{one_penalty}us vs QUORUM +{quorum_penalty}us"
-        );
-        assert!(
-            all_penalty > one_penalty,
-            "write-ALL should pay more for geography: ONE +{one_penalty}us vs ALL +{all_penalty}us"
-        );
     }
 }
 

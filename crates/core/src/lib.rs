@@ -26,6 +26,11 @@
 //!   with jittered exponential backoff, per-operation deadline budgets, and
 //!   hedged reads — pure decision logic the driver schedules through the
 //!   simulation event queue, so resilient runs stay deterministic.
+//! * [`geo_experiment`] — Fig. 7: the geo-replication PACELC sweep —
+//!   region count × consistency level over multi-datacenter topologies;
+//!   the Cassandra analog runs NetworkTopology placement with the
+//!   DC-aware levels, the HBase analog runs async WAL shipping, and the
+//!   output traces latency vs staleness as WAN links enter the quorum.
 //! * [`availability`] — Fig. 5: availability under failure — the Fig. 4
 //!   crash/recover plan rerun under each retry policy, tracing goodput
 //!   (first-try vs retried successes), error rate, and attempts per op.
@@ -57,6 +62,7 @@ pub mod consistency;
 pub mod decomposition;
 pub mod driver;
 pub mod failure;
+pub mod geo_experiment;
 pub mod micro;
 pub mod perf;
 pub mod report;
@@ -71,6 +77,7 @@ pub use availability::{AvailabilityConfig, AvailabilityResult};
 pub use decomposition::{DecompositionConfig, DecompositionResult};
 pub use driver::{DriverConfig, RunOutcome};
 pub use failure::{FailureConfig, FailureResult};
+pub use geo_experiment::{GeoExperimentConfig, GeoResult};
 pub use report::{AsciiChart, Table};
 pub use resilience::{GiveUpReason, RetryDecision, RetryPolicy};
 pub use setup::{build_cstore, build_hstore, Scale, StoreKind};

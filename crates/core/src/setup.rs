@@ -113,7 +113,7 @@ impl Scale {
         }
     }
 
-    fn lsm(&self) -> LsmConfig {
+    pub(crate) fn lsm(&self) -> LsmConfig {
         LsmConfig {
             block_size: self.block_size,
             memtable_flush_bytes: self.memtable_flush_bytes,

@@ -13,7 +13,7 @@ use simkit::{NodeId, OpKey, Sim, SimTime, Slab};
 use storage::types::entry_encoded_len;
 use storage::{Cell, Completion, Key, OpError, OpResult, StoreOp, Value};
 
-use crate::config::{CStoreConfig, CommitlogSync};
+use crate::config::{CStoreConfig, CommitlogSync, Consistency};
 use crate::event::Event;
 use crate::metrics::Metrics;
 use crate::node::{CNode, Hint};
@@ -38,6 +38,47 @@ enum PendingState {
     Scan(ScanState),
 }
 
+/// Which acknowledgements satisfy a write's consistency level.
+#[derive(Debug, Clone)]
+enum AckRule {
+    /// Datacenter-blind: any `WriteState::needed` acks settle the op
+    /// (ONE/TWO/THREE/QUORUM/ALL, and every level on a single-DC cluster).
+    Count,
+    /// LOCAL_QUORUM: only acks from the coordinator's datacenter count
+    /// toward `WriteState::needed`.
+    LocalDc {
+        /// The coordinator's datacenter.
+        dc: u32,
+        /// Acks received from that datacenter so far.
+        acks: u32,
+    },
+    /// EACH_QUORUM: a quorum in every datacenter holding replicas;
+    /// `(region, needed, acks)` per datacenter.
+    PerDc(Vec<(u32, u32, u32)>),
+}
+
+impl AckRule {
+    /// Record an ack from a node in `region`; true once the rule is
+    /// satisfied (`needed` is the threshold for the scalar rules).
+    fn ack(&mut self, region: u32, needed: u32, total_acks: u32) -> bool {
+        match self {
+            AckRule::Count => total_acks >= needed,
+            AckRule::LocalDc { dc, acks } => {
+                if region == *dc {
+                    *acks += 1;
+                }
+                *acks >= needed
+            }
+            AckRule::PerDc(quotas) => {
+                if let Some(q) = quotas.iter_mut().find(|q| q.0 == region) {
+                    q.2 += 1;
+                }
+                quotas.iter().all(|q| q.2 >= q.1)
+            }
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct WriteState {
     needed: u32,
@@ -47,6 +88,8 @@ struct WriteState {
     ts: u64,
     /// When the replica fan-out left the coordinator (quorum-wait start).
     fanout_at: SimTime,
+    /// Datacenter-aware ack accounting (LOCAL_QUORUM / EACH_QUORUM).
+    rule: AckRule,
 }
 
 #[derive(Debug, Clone)]
@@ -98,7 +141,24 @@ impl Cluster {
     pub fn new(config: CStoreConfig) -> Self {
         assert!(config.nodes > 0);
         assert!(config.replication_factor >= 1);
-        let ring = Ring::new(config.nodes, config.partitioner.clone());
+        if let geo::Strategy::NetworkTopology { .. } = &config.strategy {
+            assert_eq!(
+                config.strategy.total_rf(config.replication_factor),
+                config.replication_factor,
+                "replication_factor must equal the NetworkTopologyStrategy quota sum"
+            );
+        }
+        let snitch = if config.topology.len() == config.nodes {
+            geo::Snitch::from_topology(&config.topology)
+        } else {
+            geo::Snitch::single_dc(config.nodes)
+        };
+        let ring = Ring::with_strategy(
+            config.nodes,
+            config.partitioner.clone(),
+            config.strategy.clone(),
+            snitch,
+        );
         let nodes = (0..config.nodes)
             .map(|_| CNode::new(config.profile, config.lsm))
             .collect();
@@ -279,6 +339,26 @@ impl Cluster {
         self.nodes[node.index()].hw.is_up()
     }
 
+    /// Datacenter of a node, per the ring's snitch.
+    fn region_of(&self, node: NodeId) -> u32 {
+        self.ring.snitch().region(node)
+    }
+
+    /// True when the cluster spans more than one datacenter.
+    fn multi_dc(&self) -> bool {
+        self.ring.snitch().num_regions() > 1
+    }
+
+    /// The stage label for a coordinator↔replica hop: [`Stage::WanHop`]
+    /// when the endpoints sit in different datacenters.
+    fn hop_stage(&self, from: NodeId, to: NodeId) -> Stage {
+        if self.multi_dc() && self.region_of(from) != self.region_of(to) {
+            Stage::WanHop
+        } else {
+            Stage::ReplicaRpc
+        }
+    }
+
     fn pick_coordinator(&mut self) -> Option<NodeId> {
         for _ in 0..self.nodes.len() {
             let i = self.next_coord % self.nodes.len();
@@ -402,7 +482,7 @@ impl Cluster {
                 cell,
                 ack,
             } => self.on_write_applied(sim, op, node, key, cell, ack),
-            Event::WriteAck { op } => self.on_write_ack(sim, op),
+            Event::WriteAck { op, node } => self.on_write_ack(sim, op, node),
             Event::ReplicaRead {
                 op,
                 token,
@@ -561,11 +641,57 @@ impl Cluster {
     ) {
         self.metrics.writes += 1;
         let rf = self.config.replication_factor;
-        let needed = self.config.write_cl.required(rf);
+        let write_cl = self.config.write_cl;
         let replicas = self.ring.replicas(&key, rf);
+        // Quota denominators come from the *configured* replica set (live
+        // or not), as in Cassandra's blockFor computation.
+        let (needed, rule) = if write_cl.dc_aware() && self.multi_dc() {
+            match write_cl {
+                Consistency::LocalQuorum => {
+                    let dc = self.region_of(coord);
+                    let local_total = replicas
+                        .iter()
+                        .filter(|&&r| self.region_of(r) == dc)
+                        .count() as u32;
+                    if local_total == 0 {
+                        // No replicas in the coordinator's DC: degrade to a
+                        // plain majority rather than never settling.
+                        (write_cl.required(rf), AckRule::Count)
+                    } else {
+                        (local_total / 2 + 1, AckRule::LocalDc { dc, acks: 0 })
+                    }
+                }
+                _ => {
+                    // EACH_QUORUM: a majority of each DC's replica count.
+                    let mut quotas: Vec<(u32, u32, u32)> = Vec::new();
+                    for &r in &replicas {
+                        let region = self.region_of(r);
+                        match quotas.iter_mut().find(|q| q.0 == region) {
+                            Some(q) => q.1 += 1,
+                            None => quotas.push((region, 1, 0)),
+                        }
+                    }
+                    for q in &mut quotas {
+                        q.1 = q.1 / 2 + 1;
+                    }
+                    (quotas.iter().map(|q| q.1).sum(), AckRule::PerDc(quotas))
+                }
+            }
+        } else {
+            (write_cl.required(rf), AckRule::Count)
+        };
         let (live, dead): (Vec<NodeId>, Vec<NodeId>) =
             replicas.into_iter().partition(|&r| self.is_up(r));
-        if (live.len() as u32) < needed {
+        let available = match &rule {
+            AckRule::Count => live.len() as u32 >= needed,
+            AckRule::LocalDc { dc, .. } => {
+                live.iter().filter(|&&r| self.region_of(r) == *dc).count() as u32 >= needed
+            }
+            AckRule::PerDc(quotas) => quotas
+                .iter()
+                .all(|q| live.iter().filter(|&&r| self.region_of(r) == q.0).count() as u32 >= q.1),
+        };
+        if !available {
             self.metrics.unavailable += 1;
             self.pending.remove(op);
             self.respond(sim, token, coord, t1, OpResult::Error(OpError::Unavailable));
@@ -586,7 +712,8 @@ impl Cluster {
         let ts = cell.ts;
         for r in live {
             let arr = self.net_to(coord, r, bytes, t1);
-            self.tracer.record(token, Stage::ReplicaRpc, r.0, t1, arr);
+            let stage = self.hop_stage(coord, r);
+            self.tracer.record(token, stage, r.0, t1, arr);
             sim.schedule_at(
                 arr,
                 W::from(Event::ReplicaWrite {
@@ -607,6 +734,7 @@ impl Cluster {
                 responded: false,
                 ts,
                 fanout_at: t1,
+                rule,
             });
         }
     }
@@ -622,16 +750,72 @@ impl Cluster {
     ) {
         self.metrics.reads += 1;
         let rf = self.config.replication_factor;
-        let needed = self.config.read_cl.required(rf);
+        let read_cl = self.config.read_cl;
+        let replicas = self.ring.replicas(&key, rf);
         // Ring order starting at the main replica — the paper's "fixed
         // order" replica selection.
-        let live: Vec<NodeId> = self
-            .ring
-            .replicas(&key, rf)
-            .into_iter()
+        let live: Vec<NodeId> = replicas
+            .iter()
+            .copied()
             .filter(|&r| self.is_up(r))
             .collect();
-        if (live.len() as u32) < needed {
+        // The quota and the replicas selected to answer it. For the
+        // datacenter-aware levels the quota replicas are chosen per DC
+        // (LOCAL_QUORUM: coordinator's DC only, so no WAN hop sits on the
+        // settle path; EACH_QUORUM: a quorum from every DC, so the settle
+        // path waits on the slowest DC), still in ring order within a DC.
+        let (needed, quota_targets): (u32, Vec<NodeId>) = if read_cl.dc_aware() && self.multi_dc() {
+            match read_cl {
+                Consistency::LocalQuorum => {
+                    let dc = self.region_of(coord);
+                    let local_total = replicas
+                        .iter()
+                        .filter(|&&r| self.region_of(r) == dc)
+                        .count() as u32;
+                    if local_total == 0 {
+                        let n = read_cl.required(rf);
+                        (n, live.iter().copied().take(n as usize).collect())
+                    } else {
+                        let n = local_total / 2 + 1;
+                        (
+                            n,
+                            live.iter()
+                                .copied()
+                                .filter(|&r| self.region_of(r) == dc)
+                                .take(n as usize)
+                                .collect(),
+                        )
+                    }
+                }
+                _ => {
+                    let mut quotas: Vec<(u32, u32)> = Vec::new();
+                    for &r in &replicas {
+                        let region = self.region_of(r);
+                        match quotas.iter_mut().find(|q| q.0 == region) {
+                            Some(q) => q.1 += 1,
+                            None => quotas.push((region, 1)),
+                        }
+                    }
+                    let mut needed = 0;
+                    let mut targets = Vec::new();
+                    for (region, total) in quotas {
+                        let q = total / 2 + 1;
+                        needed += q;
+                        targets.extend(
+                            live.iter()
+                                .copied()
+                                .filter(|&r| self.region_of(r) == region)
+                                .take(q as usize),
+                        );
+                    }
+                    (needed, targets)
+                }
+            }
+        } else {
+            let n = read_cl.required(rf);
+            (n, live.iter().copied().take(n as usize).collect())
+        };
+        if (quota_targets.len() as u32) < needed {
             self.metrics.unavailable += 1;
             self.pending.remove(op);
             self.respond(sim, token, coord, t1, OpResult::Error(OpError::Unavailable));
@@ -641,16 +825,13 @@ impl Cluster {
         if fanout {
             self.metrics.repair_fanouts += 1;
         }
-        let targets: Vec<NodeId> = if fanout {
-            live
-        } else {
-            live[..needed as usize].to_vec()
-        };
+        let targets: Vec<NodeId> = if fanout { live } else { quota_targets };
         let bytes = self.config.costs.msg_overhead_bytes + key.len() as u64;
         let expected = targets.len() as u32;
         for r in targets {
             let arr = self.net_to(coord, r, bytes, t1);
-            self.tracer.record(token, Stage::ReplicaRpc, r.0, t1, arr);
+            let stage = self.hop_stage(coord, r);
+            self.tracer.record(token, stage, r.0, t1, arr);
             sim.schedule_at(
                 arr,
                 W::from(Event::ReplicaRead {
@@ -845,17 +1026,18 @@ impl Cluster {
         let token = p.token;
         let bytes = self.config.costs.msg_overhead_bytes;
         let arr = self.net_to(node, coord, bytes, now);
-        self.tracer
-            .record(token, Stage::ReplicaRpc, node.0, now, arr);
-        sim.schedule_at(arr, W::from(Event::WriteAck { op }));
+        let stage = self.hop_stage(node, coord);
+        self.tracer.record(token, stage, node.0, now, arr);
+        sim.schedule_at(arr, W::from(Event::WriteAck { op, node }));
     }
 
-    fn on_write_ack<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: OpKey) {
+    fn on_write_ack<W: From<Event>>(&mut self, sim: &mut Sim<W>, op: OpKey, node: NodeId) {
         let Some(p) = self.pending.get(op) else {
             return;
         };
         let coord = p.coordinator;
         let token = p.token;
+        let node_region = self.region_of(node);
         let t1 = self.nodes[coord.index()]
             .hw
             .cpu
@@ -870,7 +1052,8 @@ impl Cluster {
                 return;
             };
             w.acks += 1;
-            let respond_now = !w.responded && w.acks >= w.needed;
+            let settled = w.rule.ack(node_region, w.needed, w.acks);
+            let respond_now = !w.responded && settled;
             if respond_now {
                 w.responded = true;
             }
@@ -915,8 +1098,8 @@ impl Cluster {
         let coord = p.coordinator;
         let bytes = self.cell_bytes(&cell);
         let arr = self.net_to(node, coord, bytes, t2);
-        self.tracer
-            .record(token, Stage::ReplicaRpc, node.0, t2, arr);
+        let stage = self.hop_stage(node, coord);
+        self.tracer.record(token, stage, node.0, t2, arr);
         sim.schedule_at(arr, W::from(Event::ReadReturn { op, node, cell }));
     }
 
@@ -1278,6 +1461,13 @@ impl faults::FaultTarget for Cluster {
 
     fn fault_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    fn region_nodes(&self, region: u32) -> Vec<NodeId> {
+        if region >= self.config.topology.num_regions() {
+            return Vec::new();
+        }
+        self.config.topology.region_nodes(region).collect()
     }
 
     fn apply_crash<W: From<Event>>(&mut self, _sim: &mut Sim<W>, node: NodeId) {
@@ -1810,5 +2000,179 @@ mod tests {
         assert_eq!(m.writes, 1);
         assert_eq!(m.reads, 1);
         assert_eq!(m.scans, 1);
+    }
+
+    // ----- geo: datacenter-aware consistency levels -----
+
+    const WAN_US: u64 = 25_000;
+
+    /// A multi-region cluster: `regions × nodes_per_region`, NTS placing
+    /// `rf_per_dc` replicas in each DC, a uniform `WAN_US` one-way
+    /// inter-region delay, deterministic service times, no read repair.
+    fn geo_cluster_config(regions: u32, nodes_per_region: usize, rf_per_dc: u32) -> CStoreConfig {
+        let geo_cfg = geo::GeoConfig {
+            regions,
+            racks_per_region: 1,
+            inter_region_us: WAN_US,
+            wan_jitter: 0.0,
+            jitter_seed: 0,
+        };
+        let mut c = CStoreConfig::paper_testbed(regions * rf_per_dc, Partitioner::murmur());
+        c.nodes = regions as usize * nodes_per_region;
+        c.topology = geo_cfg.topology(
+            nodes_per_region,
+            c.profile.nic.prop_us,
+            c.profile.nic.prop_us,
+        );
+        c.strategy = geo::Strategy::network_topology(regions, rf_per_dc);
+        c.read_repair_chance = 0.0;
+        c.costs.jitter = 0.0;
+        c
+    }
+
+    fn timed_write(mut cfg: CStoreConfig, write_cl: Consistency) -> SimTime {
+        cfg.write_cl = write_cl;
+        let mut h = Harness::new(cfg);
+        let issue = h.sim.now();
+        let t = h.submit(StoreOp::Insert {
+            key: key(0),
+            value: k("x"),
+        });
+        let mut done_at = None;
+        while let Some(Ev::Store(ev)) = h.sim.next() {
+            h.cluster.handle(&mut h.sim, ev);
+            for c in h.cluster.drain_completions() {
+                if c.token == t {
+                    assert!(
+                        matches!(c.result, OpResult::Written { .. }),
+                        "write failed: {:?}",
+                        c.result
+                    );
+                    done_at = Some(h.sim.now());
+                }
+            }
+        }
+        done_at.expect("write settled") - issue
+    }
+
+    #[test]
+    fn local_quorum_write_settles_without_wan_hop() {
+        // 2 regions, 3 replicas per DC, 25 ms WAN: LOCAL_QUORUM must settle
+        // on the coordinator DC's quorum alone — well under one WAN hop.
+        let lat = timed_write(geo_cluster_config(2, 3, 3), Consistency::LocalQuorum);
+        assert!(
+            lat < WAN_US,
+            "LOCAL_QUORUM paid a WAN hop: {lat}us >= {WAN_US}us"
+        );
+    }
+
+    #[test]
+    fn each_quorum_write_waits_on_the_slowest_dc() {
+        // EACH_QUORUM needs a remote-DC quorum: at least one full WAN round
+        // trip (request out + ack back) sits on the settle path.
+        let each = timed_write(geo_cluster_config(2, 3, 3), Consistency::EachQuorum);
+        assert!(
+            each >= 2 * WAN_US,
+            "EACH_QUORUM must pay a WAN round trip: {each}us < {}us",
+            2 * WAN_US
+        );
+        let local = timed_write(geo_cluster_config(2, 3, 3), Consistency::LocalQuorum);
+        assert!(
+            local < each,
+            "LOCAL_QUORUM {local}us vs EACH_QUORUM {each}us"
+        );
+    }
+
+    #[test]
+    fn per_dc_ack_sets_gate_each_quorum() {
+        // Acks from one DC alone — however many — must not settle an
+        // EACH_QUORUM write. With the remote DC crashed the write is
+        // rejected as unavailable (its quorum can never assemble).
+        let mut cfg = geo_cluster_config(2, 3, 3);
+        cfg.write_cl = Consistency::EachQuorum;
+        let mut h = Harness::new(cfg);
+        for n in 3..6 {
+            h.cluster.fail_node(NodeId(n)); // take down all of region 1
+        }
+        let c = h.run_one(StoreOp::Insert {
+            key: key(0),
+            value: k("x"),
+        });
+        assert_eq!(c.result, OpResult::Error(OpError::Unavailable));
+
+        // LOCAL_QUORUM (coordinator in the surviving DC) rides through.
+        let mut cfg3 = geo_cluster_config(2, 3, 3);
+        cfg3.write_cl = Consistency::LocalQuorum;
+        let mut h = Harness::new(cfg3);
+        for n in 3..6 {
+            h.cluster.fail_node(NodeId(n));
+        }
+        let c = h.run_one(StoreOp::Insert {
+            key: key(0),
+            value: k("x"),
+        });
+        assert!(matches!(c.result, OpResult::Written { .. }));
+    }
+
+    #[test]
+    fn local_quorum_read_contacts_only_local_replicas() {
+        let mut cfg = geo_cluster_config(2, 3, 3);
+        cfg.read_cl = Consistency::LocalQuorum;
+        cfg.write_cl = Consistency::EachQuorum; // seed every DC first
+        let mut h = Harness::new(cfg);
+        h.run_one(StoreOp::Insert {
+            key: key(0),
+            value: k("v"),
+        });
+        let issue = h.sim.now();
+        let t = h.submit(StoreOp::Read { key: key(0) });
+        let mut done_at = None;
+        while let Some(Ev::Store(ev)) = h.sim.next() {
+            h.cluster.handle(&mut h.sim, ev);
+            for c in h.cluster.drain_completions() {
+                if c.token == t {
+                    assert!(matches!(c.result, OpResult::Value(Some(_))));
+                    done_at = Some(h.sim.now());
+                }
+            }
+        }
+        let lat = done_at.expect("read settled") - issue;
+        assert!(
+            lat < WAN_US,
+            "LOCAL_QUORUM read paid a WAN hop: {lat}us >= {WAN_US}us"
+        );
+    }
+
+    #[test]
+    fn single_region_local_quorum_is_bit_identical_to_quorum() {
+        // On a single-DC cluster the DC-aware levels reduce exactly to
+        // QUORUM: same completions at the same virtual instants, same
+        // event and RNG trajectory (sim.now() and dispatch counts match).
+        let run = |read_cl: Consistency, write_cl: Consistency| {
+            let mut cfg = ordered_config(3, 5, 1000);
+            cfg.read_cl = read_cl;
+            cfg.write_cl = write_cl;
+            let mut h = Harness::new(cfg);
+            for i in 0..30u64 {
+                h.submit(StoreOp::Insert {
+                    key: key(i % 7),
+                    value: k("v"),
+                });
+            }
+            for i in 0..30u64 {
+                h.submit(StoreOp::Read { key: key(i % 7) });
+            }
+            let out = h.run();
+            (out.len(), h.sim.now(), h.sim.dispatched())
+        };
+        let quorum = run(Consistency::Quorum, Consistency::Quorum);
+        assert_eq!(
+            run(Consistency::LocalQuorum, Consistency::LocalQuorum),
+            quorum
+        );
+        assert_eq!(
+            run(Consistency::EachQuorum, Consistency::EachQuorum),
+            quorum
+        );
     }
 }

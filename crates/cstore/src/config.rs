@@ -7,7 +7,8 @@ use crate::ring::Partitioner;
 
 /// A tunable consistency level (the paper benchmarks ONE, QUORUM, and
 /// write-ALL; TWO and THREE exist in Cassandra and are included for
-/// completeness).
+/// completeness; LOCAL_QUORUM and EACH_QUORUM are the datacenter-aware
+/// levels the geo-replication subsystem adds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Consistency {
     /// One replica must respond.
@@ -18,6 +19,15 @@ pub enum Consistency {
     Three,
     /// A majority of replicas must respond.
     Quorum,
+    /// A majority of the replicas in the coordinator's datacenter must
+    /// respond; remote-DC responses do not count and no WAN hop sits on the
+    /// settle path. In a single-datacenter cluster this is exactly
+    /// [`Consistency::Quorum`].
+    LocalQuorum,
+    /// A majority of the replicas in *every* datacenter must respond; the
+    /// settle path waits on the slowest datacenter's quorum. In a
+    /// single-datacenter cluster this is exactly [`Consistency::Quorum`].
+    EachQuorum,
     /// Every replica must respond.
     All,
 }
@@ -25,15 +35,25 @@ pub enum Consistency {
 impl Consistency {
     /// How many replica responses this level requires at replication factor
     /// `rf` (clamped to `rf`).
+    ///
+    /// For the datacenter-aware levels this is the datacenter-blind
+    /// fallback (a plain majority of `rf`) — correct for single-DC
+    /// clusters; multi-DC coordinators compute per-DC quotas from the
+    /// snitch instead.
     pub fn required(self, rf: u32) -> u32 {
         let n = match self {
             Consistency::One => 1,
             Consistency::Two => 2,
             Consistency::Three => 3,
-            Consistency::Quorum => rf / 2 + 1,
+            Consistency::Quorum | Consistency::LocalQuorum | Consistency::EachQuorum => rf / 2 + 1,
             Consistency::All => rf,
         };
         n.clamp(1, rf.max(1))
+    }
+
+    /// True for the levels whose quota is computed per datacenter.
+    pub fn dc_aware(self) -> bool {
+        matches!(self, Consistency::LocalQuorum | Consistency::EachQuorum)
     }
 
     /// Short label for reports.
@@ -43,6 +63,8 @@ impl Consistency {
             Consistency::Two => "TWO",
             Consistency::Three => "THREE",
             Consistency::Quorum => "QUORUM",
+            Consistency::LocalQuorum => "LOCAL_QUORUM",
+            Consistency::EachQuorum => "EACH_QUORUM",
             Consistency::All => "ALL",
         }
     }
@@ -140,6 +162,12 @@ pub struct CStoreConfig {
     pub lsm: LsmConfig,
     /// Key partitioning scheme.
     pub partitioner: Partitioner,
+    /// Replica placement strategy. [`geo::Strategy::Simple`] (the default)
+    /// is datacenter-blind ring-successor placement;
+    /// [`geo::Strategy::NetworkTopology`] fills per-datacenter quotas using
+    /// the topology's region assignment as the snitch. With
+    /// `NetworkTopology`, `replication_factor` must equal the quota sum.
+    pub strategy: geo::Strategy,
     /// Hardware of each node.
     pub profile: NodeProfile,
     /// Rack layout / network distances.
@@ -169,6 +197,7 @@ impl CStoreConfig {
             rpc_timeout_us: 2_000_000,
             lsm: LsmConfig::default(),
             partitioner,
+            strategy: geo::Strategy::Simple,
             profile,
             topology: Topology::single_rack(15, profile.nic.prop_us),
             costs: ServiceCosts::default(),
@@ -220,6 +249,25 @@ mod tests {
     fn labels() {
         assert_eq!(Consistency::Quorum.to_string(), "QUORUM");
         assert_eq!(Consistency::One.label(), "ONE");
+        assert_eq!(Consistency::LocalQuorum.to_string(), "LOCAL_QUORUM");
+        assert_eq!(Consistency::EachQuorum.label(), "EACH_QUORUM");
+    }
+
+    #[test]
+    fn dc_aware_levels_fall_back_to_plain_quorum() {
+        for rf in 1..=6u32 {
+            assert_eq!(
+                Consistency::LocalQuorum.required(rf),
+                Consistency::Quorum.required(rf)
+            );
+            assert_eq!(
+                Consistency::EachQuorum.required(rf),
+                Consistency::Quorum.required(rf)
+            );
+        }
+        assert!(Consistency::LocalQuorum.dc_aware());
+        assert!(Consistency::EachQuorum.dc_aware());
+        assert!(!Consistency::Quorum.dc_aware());
     }
 
     #[test]

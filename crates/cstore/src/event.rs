@@ -54,6 +54,9 @@ pub enum Event {
     WriteAck {
         /// Slab key of the pending op.
         op: OpKey,
+        /// The acking replica — the datacenter-aware consistency levels
+        /// count acks per datacenter.
+        node: NodeId,
     },
     /// A read request arrived at a replica.
     ReplicaRead {

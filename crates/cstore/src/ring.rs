@@ -10,11 +10,14 @@
 //!   space (load balance without token tuning; scans degrade to
 //!   token-order semantics, as with Cassandra's RandomPartitioner).
 //!
-//! Replication is SimpleStrategy: the replica set of a key is its primary
-//! plus the next `rf - 1` distinct ring successors. The primary is the
-//! paper's "main replica ... always performed, no matter which consistency
-//! level is used".
+//! Replica placement is delegated to a [`geo::Strategy`]: the default
+//! [`geo::Strategy::Simple`] takes the primary plus the next `rf - 1`
+//! distinct ring successors, while `NetworkTopologyStrategy` walks the same
+//! successor order but fills per-datacenter quotas via the [`geo::Snitch`].
+//! The primary is the paper's "main replica ... always performed, no matter
+//! which consistency level is used".
 
+use geo::{Snitch, Strategy};
 use simkit::NodeId;
 use storage::Key;
 
@@ -75,19 +78,57 @@ fn hash_key(key: &[u8]) -> u64 {
 pub struct Ring {
     partitioner: Partitioner,
     nodes: usize,
+    strategy: Strategy,
+    snitch: Snitch,
 }
 
 impl Ring {
-    /// A ring over `nodes` nodes.
+    /// A ring over `nodes` nodes with `SimpleStrategy` placement.
     ///
     /// # Panics
     /// If an order-preserving partitioner has a token count ≠ `nodes`.
     pub fn new(nodes: usize, partitioner: Partitioner) -> Self {
+        Self::with_strategy(
+            nodes,
+            partitioner,
+            Strategy::Simple,
+            Snitch::single_dc(nodes),
+        )
+    }
+
+    /// A ring whose placement consults an explicit replication strategy and
+    /// snitch (datacenter lookup).
+    ///
+    /// # Panics
+    /// If an order-preserving partitioner has a token count ≠ `nodes`, or
+    /// the snitch covers a different node count.
+    pub fn with_strategy(
+        nodes: usize,
+        partitioner: Partitioner,
+        strategy: Strategy,
+        snitch: Snitch,
+    ) -> Self {
         assert!(nodes > 0);
         if let Partitioner::OrderPreserving { tokens } = &partitioner {
             assert_eq!(tokens.len(), nodes, "need exactly one token per node");
         }
-        Self { partitioner, nodes }
+        assert_eq!(snitch.len(), nodes, "snitch must cover every node");
+        Self {
+            partitioner,
+            nodes,
+            strategy,
+            snitch,
+        }
+    }
+
+    /// The replication strategy placement consults.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// The datacenter snitch.
+    pub fn snitch(&self) -> &Snitch {
+        &self.snitch
     }
 
     /// Number of nodes on the ring.
@@ -123,14 +164,14 @@ impl Ring {
         }
     }
 
-    /// The replica set of `key` at replication factor `rf`: primary plus
-    /// ring successors, clamped to the node count.
+    /// The replica set of `key` at replication factor `rf`, as placed by
+    /// the ring's strategy: `SimpleStrategy` takes the primary plus ring
+    /// successors clamped to the node count; `NetworkTopologyStrategy`
+    /// walks the same order filling per-datacenter quotas (its quota vector
+    /// is authoritative and `rf` is ignored).
     pub fn replicas(&self, key: &[u8], rf: u32) -> Vec<NodeId> {
         let p = self.primary(key);
-        let n = (rf as usize).min(self.nodes);
-        (0..n)
-            .map(|i| NodeId(((p + i) % self.nodes) as u32))
-            .collect()
+        self.strategy.place(p, self.nodes, rf, &self.snitch)
     }
 
     /// Ring successor of a node index.
@@ -265,5 +306,39 @@ mod tests {
     #[should_panic(expected = "one token per node")]
     fn token_count_must_match() {
         let _ = Ring::new(3, Partitioner::order_preserving(vec![k("a")]));
+    }
+
+    #[test]
+    fn network_topology_strategy_fills_per_dc_quotas() {
+        // 6 nodes, 2 regions of 3 (contiguous blocks as Topology::geo lays
+        // them out); one replica per DC.
+        let t = simkit::Topology::geo(2, 3, 1, 50, 50, vec![0, 1000, 1000, 0]);
+        let r = Ring::with_strategy(
+            6,
+            Partitioner::murmur(),
+            Strategy::network_topology(2, 1),
+            Snitch::from_topology(&t),
+        );
+        let reps = r.replicas(b"somekey", 0);
+        assert_eq!(reps.len(), 2);
+        assert_ne!(
+            r.snitch().region(reps[0]),
+            r.snitch().region(reps[1]),
+            "one replica in each DC: {reps:?}"
+        );
+    }
+
+    #[test]
+    fn single_dc_nts_matches_simple_placement() {
+        let simple = ordered_ring();
+        let nts = Ring::with_strategy(
+            4,
+            Partitioner::order_preserving(vec![k("a"), k("g"), k("n"), k("t")]),
+            Strategy::network_topology(1, 3),
+            Snitch::single_dc(4),
+        );
+        for key in [&b"a"[..], b"g", b"m", b"z", b"0", b"hello"] {
+            assert_eq!(simple.replicas(key, 3), nts.replicas(key, 3));
+        }
     }
 }

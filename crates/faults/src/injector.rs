@@ -28,6 +28,14 @@ pub trait FaultTarget {
     /// cluster sizes).
     fn fault_nodes(&self) -> usize;
 
+    /// Nodes comprising datacenter `region`, for region-scoped faults. The
+    /// default — no regions — makes targets without a geo topology skip
+    /// region faults rather than mis-apply them.
+    fn region_nodes(&self, region: u32) -> Vec<NodeId> {
+        let _ = region;
+        Vec::new()
+    }
+
     /// Crash `node` so it stops serving requests.
     fn apply_crash<W: From<Self::Event>>(&mut self, sim: &mut Sim<W>, node: NodeId);
 
@@ -100,7 +108,29 @@ impl FaultInjector {
         W: From<T::Event>,
     {
         let ev = *self.plan.get(index)?;
-        if ev.kind.node().index() >= target.fault_nodes() {
+        // Region-scoped kinds expand to one node-scoped fault per member of
+        // the target's datacenter; a target that does not place any node in
+        // the region (no geo topology, or fewer regions) skips the fault.
+        if let Some(region) = ev.kind.region() {
+            let members = target.region_nodes(region);
+            if members.is_empty() {
+                self.skipped += 1;
+                return None;
+            }
+            for &node in &members {
+                match ev.kind {
+                    FaultKind::CrashRegion { .. } => target.apply_crash(sim, node),
+                    FaultKind::RecoverRegion { .. } => target.apply_recover(sim, node),
+                    FaultKind::PartitionRegion { extra_us, .. } => {
+                        target.apply_net_delay(node, extra_us)
+                    }
+                    _ => target.apply_restore_net(node), // HealRegion
+                }
+            }
+            self.applied += 1;
+            return Some(ev);
+        }
+        if !matches!(ev.kind.node(), Some(node) if node.index() < target.fault_nodes()) {
             self.skipped += 1;
             return None;
         }
@@ -111,6 +141,11 @@ impl FaultInjector {
             FaultKind::RestoreDisk { node } => target.apply_restore_disk(node),
             FaultKind::NetDelay { node, extra_us } => target.apply_net_delay(node, extra_us),
             FaultKind::RestoreNet { node } => target.apply_restore_net(node),
+            // Region kinds were handled (and returned) above.
+            FaultKind::CrashRegion { .. }
+            | FaultKind::RecoverRegion { .. }
+            | FaultKind::PartitionRegion { .. }
+            | FaultKind::HealRegion { .. } => {}
         }
         self.applied += 1;
         Some(ev)
@@ -212,6 +247,99 @@ mod tests {
         assert_eq!(injector.applied(), 0);
         assert_eq!(injector.skipped(), 1, "unknown index is not a skip");
         assert!(probe.log.is_empty());
+    }
+
+    /// A probe with two 2-node regions.
+    struct GeoProbe(Probe);
+
+    impl FaultTarget for GeoProbe {
+        type Event = usize;
+
+        fn fault_nodes(&self) -> usize {
+            self.0.nodes
+        }
+
+        fn region_nodes(&self, region: u32) -> Vec<NodeId> {
+            let base = region * 2;
+            if base as usize >= self.0.nodes {
+                return Vec::new();
+            }
+            vec![NodeId(base), NodeId(base + 1)]
+        }
+
+        fn apply_crash<W: From<usize>>(&mut self, sim: &mut Sim<W>, node: NodeId) {
+            self.0.apply_crash(sim, node)
+        }
+        fn apply_recover<W: From<usize>>(&mut self, sim: &mut Sim<W>, node: NodeId) {
+            self.0.apply_recover(sim, node)
+        }
+        fn apply_slow_disk(&mut self, node: NodeId, factor: u32) {
+            self.0.apply_slow_disk(node, factor)
+        }
+        fn apply_restore_disk(&mut self, node: NodeId) {
+            self.0.apply_restore_disk(node)
+        }
+        fn apply_net_delay(&mut self, node: NodeId, extra_us: u64) {
+            self.0.apply_net_delay(node, extra_us)
+        }
+        fn apply_restore_net(&mut self, node: NodeId) {
+            self.0.apply_restore_net(node)
+        }
+    }
+
+    #[test]
+    fn region_faults_expand_to_every_member_node() {
+        let plan = FaultPlan::new()
+            .crash_region_window(1, 1_000, 3_000)
+            .partition_region_window(0, 500, 1_500, 2_000);
+        let mut injector = FaultInjector::new(plan);
+        let mut probe = GeoProbe(Probe {
+            nodes: 4,
+            log: Vec::new(),
+        });
+        let mut sim: Sim<usize> = Sim::new(1);
+        injector.schedule(&mut sim, |i| i);
+        while let Some(index) = sim.next() {
+            injector.fire(&mut sim, &mut probe, index);
+        }
+        assert_eq!(injector.applied(), 4);
+        assert_eq!(
+            probe.0.log,
+            vec![
+                (1_000, "crash 2".to_string()),
+                (1_000, "crash 3".to_string()),
+                (0, "delay 0 +500".to_string()),
+                (0, "delay 1 +500".to_string()),
+                (0, "restore-net 0".to_string()),
+                (0, "restore-net 1".to_string()),
+                (3_000, "recover 2".to_string()),
+                (3_000, "recover 3".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn region_faults_skip_targets_without_the_region() {
+        let plan = FaultPlan::new().crash_region_at(7, 100);
+        let mut injector = FaultInjector::new(plan.clone());
+        // The plain probe has no region_nodes override: every region fault
+        // is skipped, not mis-applied.
+        let mut probe = Probe {
+            nodes: 3,
+            log: Vec::new(),
+        };
+        let mut sim: Sim<usize> = Sim::new(1);
+        assert!(injector.fire(&mut sim, &mut probe, 0).is_none());
+        assert_eq!(injector.skipped(), 1);
+        assert!(probe.log.is_empty());
+        // A geo probe with fewer regions skips the out-of-range region too.
+        let mut injector = FaultInjector::new(plan);
+        let mut geo = GeoProbe(Probe {
+            nodes: 4,
+            log: Vec::new(),
+        });
+        assert!(injector.fire(&mut sim, &mut geo, 0).is_none());
+        assert_eq!(injector.skipped(), 1);
     }
 
     #[test]

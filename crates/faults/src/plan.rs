@@ -50,18 +50,60 @@ pub enum FaultKind {
         /// The node whose NIC returns to nominal latency.
         node: NodeId,
     },
+    /// Crash every node of one datacenter (geo region): a whole-DC outage.
+    /// The injector expands this to a per-node crash using the target's
+    /// region assignment; targets without that region skip the fault.
+    CrashRegion {
+        /// The victim region (datacenter index).
+        region: u32,
+    },
+    /// Bring every node of a crashed datacenter back online.
+    RecoverRegion {
+        /// The recovering region.
+        region: u32,
+    },
+    /// Partition a datacenter from the rest of the cluster: every node in
+    /// the region pays `extra_us` of egress delay per message (a congested
+    /// or flapping WAN link rather than a clean cut, so quorum waits grow
+    /// instead of requests vanishing).
+    PartitionRegion {
+        /// The partitioned region.
+        region: u32,
+        /// Extra egress delay per message, microseconds.
+        extra_us: u64,
+    },
+    /// End a datacenter partition.
+    HealRegion {
+        /// The region whose WAN link returns to nominal latency.
+        region: u32,
+    },
 }
 
 impl FaultKind {
-    /// The node this fault applies to.
-    pub fn node(&self) -> NodeId {
+    /// The node this fault applies to; `None` for region-scoped kinds.
+    pub fn node(&self) -> Option<NodeId> {
         match *self {
             FaultKind::Crash { node }
             | FaultKind::Recover { node }
             | FaultKind::SlowDisk { node, .. }
             | FaultKind::RestoreDisk { node }
             | FaultKind::NetDelay { node, .. }
-            | FaultKind::RestoreNet { node } => node,
+            | FaultKind::RestoreNet { node } => Some(node),
+            FaultKind::CrashRegion { .. }
+            | FaultKind::RecoverRegion { .. }
+            | FaultKind::PartitionRegion { .. }
+            | FaultKind::HealRegion { .. } => None,
+        }
+    }
+
+    /// The datacenter this fault applies to; `None` for node-scoped kinds.
+    pub fn region(&self) -> Option<u32> {
+        match *self {
+            FaultKind::CrashRegion { region }
+            | FaultKind::RecoverRegion { region }
+            | FaultKind::PartitionRegion { region, .. }
+            | FaultKind::HealRegion { region } => Some(region),
+            _ => None,
         }
     }
 }
@@ -150,6 +192,37 @@ impl FaultPlan {
         assert!(from < to, "net-delay window must have positive duration");
         self.with(from, FaultKind::NetDelay { node, extra_us })
             .with(to, FaultKind::RestoreNet { node })
+    }
+
+    /// Crash every node of datacenter `region` at virtual time `at`.
+    pub fn crash_region_at(self, region: u32, at: SimTime) -> Self {
+        self.with(at, FaultKind::CrashRegion { region })
+    }
+
+    /// Recover every node of datacenter `region` at virtual time `at`.
+    pub fn recover_region_at(self, region: u32, at: SimTime) -> Self {
+        self.with(at, FaultKind::RecoverRegion { region })
+    }
+
+    /// Crash datacenter `region` at `down_at` and recover it at `up_at`.
+    pub fn crash_region_window(self, region: u32, down_at: SimTime, up_at: SimTime) -> Self {
+        assert!(down_at < up_at, "crash window must have positive duration");
+        self.crash_region_at(region, down_at)
+            .recover_region_at(region, up_at)
+    }
+
+    /// Partition datacenter `region` (every member pays `extra_us` egress
+    /// delay) during `[from, to)`.
+    pub fn partition_region_window(
+        self,
+        region: u32,
+        extra_us: u64,
+        from: SimTime,
+        to: SimTime,
+    ) -> Self {
+        assert!(from < to, "partition window must have positive duration");
+        self.with(from, FaultKind::PartitionRegion { region, extra_us })
+            .with(to, FaultKind::HealRegion { region })
     }
 
     /// A randomized plan of 1–3 fault windows over `[0, horizon_us)`,
@@ -254,7 +327,7 @@ mod tests {
             assert!(!plan.is_empty());
             for ev in plan.events() {
                 assert!(ev.at <= 1_000_000);
-                assert!(ev.kind.node().index() < 5);
+                assert!(ev.kind.node().is_some_and(|n| n.index() < 5));
             }
         }
     }
@@ -267,14 +340,31 @@ mod tests {
 
     #[test]
     fn kind_reports_its_node() {
-        assert_eq!(FaultKind::Crash { node: NodeId(3) }.node(), NodeId(3));
+        assert_eq!(FaultKind::Crash { node: NodeId(3) }.node(), Some(NodeId(3)));
         assert_eq!(
             FaultKind::NetDelay {
                 node: NodeId(4),
                 extra_us: 100
             }
             .node(),
-            NodeId(4)
+            Some(NodeId(4))
+        );
+        assert_eq!(FaultKind::Crash { node: NodeId(3) }.region(), None);
+    }
+
+    #[test]
+    fn region_kinds_report_region_not_node() {
+        let k = FaultKind::CrashRegion { region: 2 };
+        assert_eq!(k.node(), None);
+        assert_eq!(k.region(), Some(2));
+        let plan = FaultPlan::new()
+            .crash_region_window(1, 1_000, 5_000)
+            .partition_region_window(2, 25_000, 2_000, 3_000);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.events()[0].kind, FaultKind::CrashRegion { region: 1 });
+        assert_eq!(
+            plan.events()[3].kind,
+            FaultKind::RecoverRegion { region: 1 }
         );
     }
 }

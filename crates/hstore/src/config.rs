@@ -82,6 +82,20 @@ pub struct HStoreConfig {
     /// fail immediately. `0` makes failover synchronous with the crash —
     /// the pre-existing `fail_server` behaviour.
     pub failover_delay_us: u64,
+    /// Async cluster-replication (geo) mode: the number of follower
+    /// regions (remote datacenters) this primary ships committed WAL
+    /// groups to, HBase-replication style. The primary serves all client
+    /// traffic; followers are modeled as replication sinks whose applied
+    /// watermark trails the primary by the shipping delay. `0` (the
+    /// default) disables shipping entirely — no events, no cost,
+    /// bit-identical to the pre-geo behaviour.
+    pub follower_regions: u32,
+    /// One-way WAN delay from the primary to each follower region,
+    /// microseconds.
+    pub ship_wan_us: u64,
+    /// Extra shipping lag before a committed group leaves the primary (the
+    /// replication source tails the WAL asynchronously and batches).
+    pub ship_lag_us: u64,
 }
 
 impl HStoreConfig {
@@ -103,6 +117,9 @@ impl HStoreConfig {
             pause_duration_us: 50_000,
             rpc_timeout_us: 2_000_000,
             failover_delay_us: 0,
+            follower_regions: 0,
+            ship_wan_us: geo::DEFAULT_INTER_REGION_US,
+            ship_lag_us: 10_000,
         }
     }
 }
@@ -121,5 +138,7 @@ mod tests {
         assert_eq!(c.costs.server_us, 700);
         assert_eq!(c.rpc_timeout_us, 2_000_000);
         assert_eq!(c.failover_delay_us, 0, "failover is synchronous by default");
+        assert_eq!(c.follower_regions, 0, "async replication is off by default");
+        assert_eq!(c.ship_wan_us, 25_000);
     }
 }

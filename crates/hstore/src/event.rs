@@ -5,7 +5,7 @@
 //! stale generation and resolves to nothing, replacing the old
 //! `HashMap`-miss semantics.
 
-use simkit::{NodeId, OpKey};
+use simkit::{NodeId, OpKey, SimTime};
 use storage::{Key, OpResult};
 
 /// An internal simulation event of the HBase-analog cluster.
@@ -63,5 +63,14 @@ pub enum Event {
     FailOver {
         /// The server whose crash was detected.
         server: NodeId,
+    },
+    /// A shipped WAL group arrives at a follower region's replication sink
+    /// (async cluster replication). The follower applies it and advances
+    /// its watermark; the gap `now - commit_ts` is the replication window.
+    WalShip {
+        /// Follower-region ordinal, `0..follower_regions`.
+        follower: u32,
+        /// When the group committed on the primary.
+        commit_ts: SimTime,
     },
 }

@@ -25,6 +25,9 @@ pub struct Metrics {
     pub regions_moved: u64,
     /// Stop-the-world pauses taken across the cluster.
     pub gc_pauses: u64,
+    /// WAL groups shipped to follower regions (async cluster replication);
+    /// one count per (group, follower) arrival.
+    pub wal_ships: u64,
 }
 
 impl Metrics {

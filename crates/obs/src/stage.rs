@@ -44,6 +44,9 @@ pub enum Stage {
     /// A stop-the-world GC pause (background span; shows up on the critical
     /// path only indirectly, via inflated CPU waits).
     GcPause,
+    /// A cross-region (WAN) network hop: replica RPC or WAL shipment whose
+    /// endpoints sit in different datacenters.
+    WanHop,
     /// Synthetic filler for critical-path gaps no recorded span covers
     /// (e.g. event-queue ordering slack). Keeps stage sums exact.
     Wait,
@@ -51,7 +54,7 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, in discriminant (= export column) order.
-    pub const ALL: [Stage; 17] = [
+    pub const ALL: [Stage; 18] = [
         Stage::ClientSend,
         Stage::ServerCpu,
         Stage::ReplicaRpc,
@@ -68,6 +71,7 @@ impl Stage {
         Stage::RespSend,
         Stage::RetryBackoff,
         Stage::GcPause,
+        Stage::WanHop,
         Stage::Wait,
     ];
 
@@ -90,6 +94,7 @@ impl Stage {
             Stage::RespSend => "resp_send",
             Stage::RetryBackoff => "retry_backoff",
             Stage::GcPause => "gc_pause",
+            Stage::WanHop => "wan_hop",
             Stage::Wait => "wait",
         }
     }
