@@ -34,6 +34,7 @@ fn main() {
         timeline_window_us: 0,
         retry: RetryPolicy::none(),
         trace: Default::default(),
+        arrival: Default::default(),
     };
 
     {
@@ -103,6 +104,7 @@ fn consistency_probe() {
             timeline_window_us: 0,
             retry: RetryPolicy::none(),
             trace: Default::default(),
+            arrival: Default::default(),
         };
         let out = driver::run(&mut c, &dcfg);
         let (hits, misses) = (0..c.len()).fold((0u64, 0u64), |(h, m), i| {

@@ -1,0 +1,37 @@
+//! Regenerates Fig. 10: graceful degradation under overload.
+//!
+//! An open-loop (Poisson) offered-load sweep across the capacity knee for
+//! both stores, with and without server-side admission control. The
+//! uncontrolled arm accepts every arrival and its tail diverges past the
+//! knee; the admission arm bounds the entry queue under a strict-priority
+//! policy and sheds the batch tenant first, keeping the admitted p99 and
+//! the interactive tenant's SLA. Prints one panel per store and writes
+//! every cell to `results/fig10_overload.csv`.
+
+use bench_core::overload::{run_overload, OverloadConfig};
+
+fn main() {
+    let cfg = if bench::quick_requested() {
+        OverloadConfig::quick()
+    } else {
+        OverloadConfig::default()
+    };
+    eprintln!(
+        "fig10: {} records, loads {:?} ops/s, rf {}, admission depth {} ({:?}), {} tenants",
+        cfg.scale.records,
+        cfg.offered_loads,
+        cfg.rf,
+        cfg.admission.max_in_flight,
+        cfg.admission.policy,
+        cfg.tenants.len(),
+    );
+    let started = std::time::Instant::now();
+    let result = run_overload(&cfg);
+    eprintln!("fig10: done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!("fig10: {}", result.telemetry.summary());
+
+    println!("{}", result.render());
+    let path = bench::results_dir().join("fig10_overload.csv");
+    result.table().write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

@@ -291,6 +291,7 @@ pub fn run_consistency_with(cfg: &ConsistencyConfig, sweep: &Sweep) -> Consisten
             timeline_window_us: 0,
             retry: RetryPolicy::none(),
             trace: obs::TraceConfig::off(),
+            arrival: crate::driver::ArrivalMode::ClosedLoop,
         };
         let run = driver::run(&mut snapshot, &dcfg);
         let repair_writes = run

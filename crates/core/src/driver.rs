@@ -1,26 +1,57 @@
-//! The closed-loop YCSB driver.
+//! The YCSB driver: closed-loop (the paper's client model) or open-loop.
 //!
-//! Exactly the paper's client model: a fixed number of client threads, each
-//! issuing its next operation only after the previous response ("The YCSB
-//! client will not emit a new request until it receives a response for the
-//! prior request"), optionally throttled to a cluster-wide target
-//! throughput. Latency is measured client-side in virtual time; a warm-up
-//! prefix is excluded; read-modify-write is composed client-side (read,
-//! then update, one combined latency) as YCSB does; and every read is
+//! Closed loop is exactly the paper's client: a fixed number of client
+//! threads, each issuing its next operation only after the previous response
+//! ("The YCSB client will not emit a new request until it receives a
+//! response for the prior request"), optionally throttled to a cluster-wide
+//! target throughput. Latency is measured client-side in virtual time; a
+//! warm-up prefix is excluded; read-modify-write is composed client-side
+//! (read, then update, one combined latency) as YCSB does; and every read is
 //! checked against the staleness tracker, so consistency is *measured*.
+//!
+//! Open loop ([`ArrivalMode::OpenLoop`]) replaces the completion-driven
+//! reissue with a seed-deterministic Poisson arrival process
+//! ([`ycsb::OpenLoop`]): arrivals fire at their drawn virtual instants
+//! regardless of how the store is doing, so queues actually build at
+//! saturation. Because each arrival is a simulated event, an op's issue
+//! time *is* its intended start time — there is no client-side stall that
+//! could push issuance late — so open-loop latency percentiles are free of
+//! coordinated omission by construction.
 
 use std::collections::HashMap;
 
 use faults::{FaultInjector, FaultPlan, FaultTarget};
-use simkit::{OpKey, Sim, SimTime, Slab};
-use storage::{Key, OpKind, OpResult, StoreOp};
+use simkit::{OpKey, OpTag, Sim, SimTime, Slab};
+use storage::{Key, OpError, OpKind, OpResult, StoreOp};
 use ycsb::{
-    encode_key, KeyInterner, KeySpace, RunMetrics, StalenessTracker, Throttle, ValuePool,
+    encode_key, KeyInterner, KeySpace, OpenLoop, RunMetrics, StalenessTracker, Throttle, ValuePool,
     WorkloadSpec,
 };
 
 use crate::resilience::{GiveUpReason, RetryDecision, RetryPolicy};
 use crate::store::{DriverEvent, SimStore};
+
+/// How client operations arrive at the store.
+#[derive(Debug, Clone, Default)]
+pub enum ArrivalMode {
+    /// The paper's closed loop: each of [`DriverConfig::threads`] client
+    /// threads issues its next op only after the previous response,
+    /// optionally throttled. The default.
+    #[default]
+    ClosedLoop,
+    /// Open-loop arrivals drawn from a Poisson process (with optional
+    /// diurnal modulation, flash crowds, and tenant mixes). `threads` and
+    /// `target_ops_per_sec` are ignored; the offered load is the process's
+    /// rate, and results are identical at any worker thread count.
+    OpenLoop(OpenLoop),
+}
+
+impl ArrivalMode {
+    /// True for [`ArrivalMode::OpenLoop`].
+    pub fn is_open(&self) -> bool {
+        matches!(self, ArrivalMode::OpenLoop(_))
+    }
+}
 
 /// Configuration of one benchmark run.
 #[derive(Debug, Clone)]
@@ -58,6 +89,9 @@ pub struct DriverConfig {
     /// draws are added, and the run is bit-identical to a driver without
     /// the tracing layer.
     pub trace: obs::TraceConfig,
+    /// Arrival model. [`ArrivalMode::ClosedLoop`] (the default) is the
+    /// paper's client and is bit-identical to the pre-open-loop driver.
+    pub arrival: ArrivalMode,
 }
 
 impl DriverConfig {
@@ -76,6 +110,7 @@ impl DriverConfig {
             timeline_window_us: 0,
             retry: RetryPolicy::none(),
             trace: obs::TraceConfig::off(),
+            arrival: ArrivalMode::ClosedLoop,
         }
     }
 }
@@ -132,7 +167,12 @@ pub fn load<S: SimStore>(store: &mut S, records: u64, value_len: usize, seed: u6
 /// policy stops. The RMW write phase re-inserts the context so read-phase
 /// attempt keys go stale, exactly like the old token re-keying did.
 struct OpCtx {
+    /// Closed loop: the issuing client thread (indexes `throttles`).
+    /// Open loop: the issuing tenant's index in the arrival mix.
     thread: usize,
+    /// Scheduling metadata carried to the store's admission controller on
+    /// every attempt of this op.
+    tag: OpTag,
     kind: OpKind,
     issued: SimTime,
     /// Absolute give-up time ([`SimTime::MAX`] when unbounded).
@@ -237,9 +277,19 @@ where
     let mut injector = FaultInjector::new(cfg.faults.clone());
     injector.schedule(&mut sim, |index| DriverEvent::Fault { index });
 
-    // Stagger thread start within the first millisecond.
-    for t in 0..cfg.threads {
-        sim.schedule_at((t as u64) * 13 % 1_000, DriverEvent::Issue { thread: t });
+    let open_loop = cfg.arrival.is_open();
+    match &cfg.arrival {
+        // Stagger thread start within the first millisecond.
+        ArrivalMode::ClosedLoop => {
+            for t in 0..cfg.threads {
+                sim.schedule_at((t as u64) * 13 % 1_000, DriverEvent::Issue { thread: t });
+            }
+        }
+        // One seed arrival; each arrival chains the next from the Poisson
+        // process, so the client-thread count never enters the schedule.
+        ArrivalMode::OpenLoop(_) => {
+            sim.schedule_at(0, DriverEvent::Issue { thread: 0 });
+        }
     }
 
     while completed < total {
@@ -252,13 +302,36 @@ where
                     continue;
                 }
                 issued += 1;
-                let kind = cfg.workload.mix.choose(sim.rng());
+                let now = sim.now();
+                // Closed loop: `thread` is the issuing client thread and the
+                // kind comes from the workload mix. Open loop: this wake-up
+                // is one Poisson arrival — draw the issuing tenant, its mix,
+                // any flash-crowd hot-key redirect, and chain the next
+                // arrival at its drawn instant.
+                let (client, priority, kind, flash_key) = match &cfg.arrival {
+                    ArrivalMode::ClosedLoop => {
+                        (thread, 0u8, cfg.workload.mix.choose(sim.rng()), None)
+                    }
+                    ArrivalMode::OpenLoop(ol) => {
+                        let tenant = ol.pick_tenant(sim.rng());
+                        let mix = ol.tenants[tenant].mix.as_ref().unwrap_or(&cfg.workload.mix);
+                        let kind = mix.choose(sim.rng());
+                        let hot = ol.flash_redirect(now, sim.rng());
+                        let gap = ol.next_interarrival_us(now, sim.rng());
+                        if issued < total {
+                            sim.schedule_in(gap, DriverEvent::Issue { thread: 0 });
+                        }
+                        (tenant, ol.tenants[tenant].priority, kind, hot)
+                    }
+                };
                 let token = next_token;
                 next_token += 1;
-                let now = sim.now();
                 let (op, key, expected_ts, rmw) = match kind {
                     OpKind::Read | OpKind::ReadModifyWrite => {
-                        let key = interner.key(dist.next(sim.rng()));
+                        let key = interner.key(match flash_key {
+                            Some(hot) => hot,
+                            None => dist.next(sim.rng()),
+                        });
                         let expected = tracker.expected(&key);
                         (
                             StoreOp::Read { key: key.clone() },
@@ -268,7 +341,10 @@ where
                         )
                     }
                     OpKind::Update => {
-                        let key = interner.key(dist.next(sim.rng()));
+                        let key = interner.key(match flash_key {
+                            Some(hot) => hot,
+                            None => dist.next(sim.rng()),
+                        });
                         (
                             StoreOp::Update {
                                 key: key.clone(),
@@ -293,7 +369,10 @@ where
                         )
                     }
                     OpKind::Scan => {
-                        let start = interner.key(dist.next(sim.rng()));
+                        let start = interner.key(match flash_key {
+                            Some(hot) => hot,
+                            None => dist.next(sim.rng()),
+                        });
                         let limit = cfg.workload.scan_len(sim.rng());
                         (
                             StoreOp::Scan {
@@ -306,7 +385,10 @@ where
                         )
                     }
                     OpKind::Delete => {
-                        let key = interner.key(dist.next(sim.rng()));
+                        let key = interner.key(match flash_key {
+                            Some(hot) => hot,
+                            None => dist.next(sim.rng()),
+                        });
                         (StoreOp::Delete { key: key.clone() }, key, 0, false)
                     }
                 };
@@ -319,11 +401,14 @@ where
                 } else {
                     None
                 };
+                let deadline = cfg.retry.deadline_at(now);
+                let tag = OpTag { priority, deadline };
                 let opkey = ctxs.insert(OpCtx {
-                    thread,
+                    thread: client,
+                    tag,
                     kind,
                     issued: now,
-                    deadline: cfg.retry.deadline_at(now),
+                    deadline,
                     op: op.clone(),
                     key,
                     expected_ts,
@@ -338,7 +423,7 @@ where
                 });
                 attempt_of.set(token, opkey);
                 metrics.resilience_mut().attempts += 1;
-                store.submit(&mut sim, token, op);
+                store.submit_tagged(&mut sim, token, op, tag);
                 // Hedging covers point reads only (including the RMW read
                 // phase); the event is harmless if the op settles first.
                 if cfg.retry.hedges() && matches!(kind, OpKind::Read | OpKind::ReadModifyWrite) {
@@ -360,7 +445,8 @@ where
                         store.tracer_mut().watch(token);
                     }
                     let resubmit = ctx.op.clone();
-                    store.submit(&mut sim, token, resubmit);
+                    let tag = ctx.tag;
+                    store.submit_tagged(&mut sim, token, resubmit, tag);
                 }
             }
             DriverEvent::Hedge { op } => {
@@ -387,7 +473,8 @@ where
                             store.tracer_mut().watch(token);
                         }
                         let resubmit = ctx.op.clone();
-                        store.submit(&mut sim, token, resubmit);
+                        let tag = ctx.tag;
+                        store.submit_tagged(&mut sim, token, resubmit, tag);
                     }
                 }
             }
@@ -448,6 +535,9 @@ where
                         metrics.note_timeline_error(now, ctx.attempts_total);
                         if in_window {
                             metrics.record_error();
+                            if open_loop {
+                                metrics.record_tenant_error(ctx.thread, *e == OpError::Overloaded);
+                            }
                         }
                         // Fall through: the op settles as one client error.
                     }
@@ -481,6 +571,7 @@ where
                     ctx.attempts_total += 1;
                     ctx.in_flight = 1;
                     let trace_id = ctx.trace_id;
+                    let tag = ctx.tag;
                     let newkey = ctxs.insert(ctx);
                     attempt_of.set(token, newkey);
                     metrics.resilience_mut().attempts += 1;
@@ -490,7 +581,7 @@ where
                         trace_of.insert(token, logical);
                         store.tracer_mut().watch(token);
                     }
-                    store.submit(&mut sim, token, op);
+                    store.submit_tagged(&mut sim, token, op, tag);
                     continue;
                 }
                 match &c.result {
@@ -510,6 +601,9 @@ where
                 metrics.note_timeline(now, now - ctx.issued, ctx.recovered, ctx.attempts_total);
                 if in_window {
                     metrics.record(ctx.kind, now - ctx.issued);
+                    if open_loop {
+                        metrics.record_tenant(ctx.thread, now - ctx.issued);
+                    }
                 }
                 let res = metrics.resilience_mut();
                 if ctx.recovered {
@@ -535,8 +629,9 @@ where
             if completed >= total {
                 window_end = now;
             }
-            // Closed loop: the thread's next issue.
-            if issued < total {
+            // Closed loop: the thread's next issue. (Open loop arrivals are
+            // chained from the arrival process, not from completions.)
+            if !open_loop && issued < total {
                 let due = throttles[ctx.thread].next_issue(now);
                 sim.schedule_at(due, DriverEvent::Issue { thread: ctx.thread });
             }

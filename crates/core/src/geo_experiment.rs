@@ -21,7 +21,7 @@ use hstore::HStoreConfig;
 use ycsb::{balanced_tokens, WorkloadSpec};
 
 use crate::consistency::Level;
-use crate::driver::{self, DriverConfig};
+use crate::driver::{self, ArrivalMode, DriverConfig};
 use crate::report::{fmt_ops, Table};
 use crate::resilience::RetryPolicy;
 use crate::setup::{Scale, StoreKind};
@@ -322,6 +322,7 @@ fn driver_config(cfg: &GeoExperimentConfig, seed: u64) -> DriverConfig {
         timeline_window_us: 0,
         retry: RetryPolicy::none(),
         trace: obs::TraceConfig::off(),
+        arrival: ArrivalMode::ClosedLoop,
     }
 }
 

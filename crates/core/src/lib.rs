@@ -39,6 +39,10 @@
 //!   time attributed to pipeline stages, so each (store, RF, CL) cell
 //!   shows exactly where the time goes (HBase: in-memory WAL ack, flat in
 //!   RF; Cassandra: quorum wait growing with RF and CL).
+//! * [`overload`] — Fig. 10: graceful degradation under overload — an
+//!   open-loop offered-load sweep across the capacity knee, with and
+//!   without server-side admission control, tracing goodput, shed rate,
+//!   per-tenant p99, and SLA attainment per load step.
 //! * [`ablation`] — beyond-paper experiments: read repair on/off,
 //!   commit-log durability modes, node failure/failover.
 //! * [`perf`] — engine-speed measurement (`BENCH_006.json`): queue-churn
@@ -64,6 +68,7 @@ pub mod driver;
 pub mod failure;
 pub mod geo_experiment;
 pub mod micro;
+pub mod overload;
 pub mod perf;
 pub mod report;
 pub mod resilience;
@@ -75,9 +80,10 @@ pub mod sweep;
 
 pub use availability::{AvailabilityConfig, AvailabilityResult};
 pub use decomposition::{DecompositionConfig, DecompositionResult};
-pub use driver::{DriverConfig, RunOutcome};
+pub use driver::{ArrivalMode, DriverConfig, RunOutcome};
 pub use failure::{FailureConfig, FailureResult};
 pub use geo_experiment::{GeoExperimentConfig, GeoResult};
+pub use overload::{OverloadConfig, OverloadResult};
 pub use report::{AsciiChart, Table};
 pub use resilience::{GiveUpReason, RetryDecision, RetryPolicy};
 pub use setup::{build_cstore, build_hstore, Scale, StoreKind};

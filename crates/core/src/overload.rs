@@ -1,0 +1,530 @@
+//! Figure 10: graceful degradation under overload.
+//!
+//! The paper's stress experiments (§4.2) drive the stores with a *closed*
+//! loop: clients wait for completions before reissuing, so offered load can
+//! never exceed capacity and saturation shows up only as flattening
+//! throughput. Production overload looks different — traffic is open-loop,
+//! arrivals keep coming when the store slows down, queues grow without
+//! bound, and tail latency diverges. This experiment sweeps an open-loop
+//! offered load across the capacity knee, with and without server-side
+//! admission control, and traces what each strategy gives up:
+//!
+//! * **No control** — every arrival is accepted. Below the knee this is
+//!   free; past it, queueing delay grows with the length of the run and
+//!   p99 diverges (the classic congestion-collapse signature).
+//! * **Admission + shed** — a bounded entry queue fast-fails the excess
+//!   ([`storage::OpError::Overloaded`]) under a strict-priority policy, so
+//!   admitted operations see bounded queueing and the high-priority tenant
+//!   keeps its latency SLA while the batch tenant is shed first.
+//!
+//! Per load step the output reports goodput, shed rate, overall and
+//! per-tenant p99, and whether the run met its [`Sla`] (shed operations
+//! consume the error budget but are not latency samples).
+//!
+//! This is the control plane's showcase artifact, so unwraps are banned in
+//! the non-test code (CI greps for the attribute below staying in place).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use cstore::Consistency;
+use faults::FaultPlan;
+use simkit::{AdmissionConfig, AdmissionPolicy};
+use ycsb::{FlashCrowd, OpenLoop, Tenant, WorkloadSpec};
+
+use crate::driver::{self, ArrivalMode, DriverConfig};
+use crate::report::{fmt_ops, Table};
+use crate::resilience::RetryPolicy;
+use crate::setup::{self, Scale, StoreKind};
+use crate::sla::Sla;
+use crate::sweep::{BasePool, Sweep, Telemetry};
+
+/// Row label for the uncontrolled arm.
+pub const CONTROL_OFF: &str = "none";
+/// Row label for the admission-control arm.
+pub const CONTROL_ON: &str = "shed";
+
+/// Configuration of the Fig. 10 experiment.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Record/cache scale and cluster size.
+    pub scale: Scale,
+    /// Replication factor.
+    pub rf: u32,
+    /// Read consistency (Cassandra analog).
+    pub read_cl: Consistency,
+    /// Write consistency (Cassandra analog).
+    pub write_cl: Consistency,
+    /// Offered loads swept (the x-axis), arrivals/sec of virtual time.
+    /// Should straddle the cluster's closed-loop capacity.
+    pub offered_loads: Vec<f64>,
+    /// Tenant mix: weights split the arrival stream, priorities feed the
+    /// strict-priority shedder (0 = shed last).
+    pub tenants: Vec<Tenant>,
+    /// The admission controller used by the [`CONTROL_ON`] arm (the
+    /// [`CONTROL_OFF`] arm always runs [`AdmissionConfig::off`]).
+    pub admission: AdmissionConfig,
+    /// Per-op deadline budget stamped into each op's tag, µs (`0` = none).
+    /// Enables deadline-aware early drop when the policy uses it.
+    pub deadline_us: u64,
+    /// Diurnal modulation amplitude of the arrival rate (`0` = flat).
+    pub diurnal_amplitude: f64,
+    /// Diurnal period, µs of virtual time.
+    pub diurnal_period_us: u64,
+    /// Optional flash-crowd window layered on every load step.
+    pub flash: Option<FlashCrowd>,
+    /// The SLA each cell is judged against (shed ops consume the error
+    /// budget; latency is judged over admitted successes only).
+    pub sla: Sla,
+    /// The workload (default per-tenant mix; tenants may override).
+    pub workload: WorkloadSpec,
+    /// Warm-up completions per run.
+    pub warmup_ops: u64,
+    /// Measured completions per run.
+    pub measure_ops: u64,
+    /// Seed. Cells at the same offered load share their driver seed across
+    /// the control arms, so both arms face the identical arrival sequence.
+    pub seed: u64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        Self {
+            scale: Scale::stress(),
+            rf: 3,
+            read_cl: Consistency::One,
+            write_cl: Consistency::One,
+            // Straddles both stores' open-loop capacity knees at the
+            // stress scale (hstore ≈ 50 kops/s; cstore, which batches
+            // better under deep concurrency, ≈ 200 kops/s).
+            offered_loads: vec![
+                32_000.0,
+                64_000.0,
+                128_000.0,
+                256_000.0,
+                512_000.0,
+                1_024_000.0,
+            ],
+            tenants: default_tenants(),
+            admission: AdmissionConfig {
+                max_in_flight: 384,
+                policy: AdmissionPolicy::StrictPriority,
+                est_service_us: 1_000,
+            },
+            deadline_us: 100_000,
+            diurnal_amplitude: 0.0,
+            diurnal_period_us: 0,
+            flash: None,
+            sla: Sla {
+                percentile: 0.99,
+                latency_us: 50_000,
+                error_budget: 0.5,
+            },
+            workload: WorkloadSpec::read_mostly(),
+            warmup_ops: 1_000,
+            measure_ops: 12_000,
+            seed: 42,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// A fast variant for tests and smoke runs (same grid shape, tiny
+    /// scale, a geometric load ladder wide enough to straddle the tiny
+    /// cluster's knee).
+    pub fn quick() -> Self {
+        let mut cfg = Self {
+            scale: Scale::tiny(),
+            offered_loads: vec![2_000.0, 8_000.0, 32_000.0, 128_000.0],
+            warmup_ops: 100,
+            measure_ops: 5_000,
+            ..Self::default()
+        };
+        // The tiny cluster drains far slower than the stress testbed, so
+        // the bounded queue must be shallower for admitted ops to keep a
+        // low tail. The run stays long enough (5 000 measured completions)
+        // for the uncontrolled arm's backlog to visibly diverge.
+        cfg.admission.max_in_flight = 32;
+        cfg
+    }
+}
+
+/// The default two-tenant mix: an interactive tenant that must keep its
+/// SLA and a batch tenant that is shed first under strict priority.
+pub fn default_tenants() -> Vec<Tenant> {
+    vec![
+        Tenant {
+            name: "interactive",
+            weight: 0.7,
+            priority: 0,
+            mix: None,
+        },
+        Tenant {
+            name: "batch",
+            weight: 0.3,
+            priority: 2,
+            mix: None,
+        },
+    ]
+}
+
+/// One Fig. 10 cell: one (store, control arm, offered load) run.
+#[derive(Debug, Clone)]
+pub struct OverloadCell {
+    /// Which store.
+    pub store: StoreKind,
+    /// [`CONTROL_OFF`] or [`CONTROL_ON`].
+    pub control: &'static str,
+    /// Offered load, arrivals/sec.
+    pub offered: f64,
+    /// Settled throughput over the measured window, ops/s.
+    pub runtime: f64,
+    /// Successful (admitted, error-free) throughput, ops/s.
+    pub goodput: f64,
+    /// Operations the admission controller shed in the window.
+    pub shed: u64,
+    /// Shed fraction of the measured window.
+    pub shed_rate: f64,
+    /// All failed operations in the window (shed included).
+    pub errors: u64,
+    /// Mean latency of admitted successes, µs.
+    pub mean_us: f64,
+    /// 99th-percentile latency of admitted successes, µs.
+    pub p99_us: u64,
+    /// Per-tenant p99, µs, in [`OverloadConfig::tenants`] order.
+    pub tenant_p99_us: Vec<u64>,
+    /// Per-tenant shed fraction, same order.
+    pub tenant_shed_rate: Vec<f64>,
+    /// Whether the run met the configured SLA.
+    pub sla_met: bool,
+}
+
+/// The full Fig. 10 result.
+#[derive(Debug, Clone)]
+pub struct OverloadResult {
+    /// Every (store, control, offered load) cell.
+    pub cells: Vec<OverloadCell>,
+    /// Tenant names, in per-tenant column order.
+    pub tenant_names: Vec<&'static str>,
+    /// What the sweep cost.
+    pub telemetry: Telemetry,
+}
+
+impl OverloadResult {
+    /// The cell for `(store, control, offered)`, if present.
+    pub fn cell(&self, store: StoreKind, control: &str, offered: f64) -> Option<&OverloadCell> {
+        self.cells
+            .iter()
+            .find(|c| c.store == store && c.control == control && c.offered == offered)
+    }
+
+    fn tenant_headers(&self, suffix: &str) -> Vec<String> {
+        self.tenant_names
+            .iter()
+            .map(|n| format!("{n}_{suffix}"))
+            .collect()
+    }
+
+    /// Render one table per store — the Fig. 10 panels.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for store in [StoreKind::CStore, StoreKind::HStore] {
+            let mut headers = vec![
+                "control".to_owned(),
+                "offered".to_owned(),
+                "goodput".to_owned(),
+                "shed_rate".to_owned(),
+                "p99_us".to_owned(),
+            ];
+            headers.extend(self.tenant_headers("p99_us"));
+            headers.push("sla_met".to_owned());
+            let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut t = Table::new(
+                &format!(
+                    "Fig. 10 — graceful degradation under overload: {}",
+                    store.short()
+                ),
+                &refs,
+            );
+            for c in self.cells.iter().filter(|c| c.store == store) {
+                let mut row = vec![
+                    c.control.to_owned(),
+                    fmt_ops(c.offered),
+                    fmt_ops(c.goodput),
+                    format!("{:.3}", c.shed_rate),
+                    c.p99_us.to_string(),
+                ];
+                row.extend(c.tenant_p99_us.iter().map(u64::to_string));
+                row.push(if c.sla_met { "yes" } else { "NO" }.to_owned());
+                t.row(row);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV table of every cell.
+    pub fn table(&self) -> Table {
+        let mut headers = vec![
+            "store".to_owned(),
+            "control".to_owned(),
+            "offered".to_owned(),
+            "runtime".to_owned(),
+            "goodput".to_owned(),
+            "shed".to_owned(),
+            "shed_rate".to_owned(),
+            "errors".to_owned(),
+            "mean_us".to_owned(),
+            "p99_us".to_owned(),
+        ];
+        headers.extend(self.tenant_headers("p99_us"));
+        headers.extend(self.tenant_headers("shed_rate"));
+        headers.push("sla_met".to_owned());
+        let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new("fig10_overload", &refs);
+        for c in &self.cells {
+            let mut row = vec![
+                c.store.short().to_owned(),
+                c.control.to_owned(),
+                format!("{:.0}", c.offered),
+                format!("{:.1}", c.runtime),
+                format!("{:.1}", c.goodput),
+                c.shed.to_string(),
+                format!("{:.5}", c.shed_rate),
+                c.errors.to_string(),
+                format!("{:.1}", c.mean_us),
+                c.p99_us.to_string(),
+            ];
+            row.extend(c.tenant_p99_us.iter().map(u64::to_string));
+            row.extend(c.tenant_shed_rate.iter().map(|r| format!("{r:.5}")));
+            row.push(u8::from(c.sla_met).to_string());
+            t.row(row);
+        }
+        t
+    }
+}
+
+fn driver_config(cfg: &OverloadConfig, seed: u64, offered: f64) -> DriverConfig {
+    DriverConfig {
+        workload: cfg.workload.clone(),
+        threads: 1,
+        target_ops_per_sec: 0.0,
+        records: cfg.scale.records,
+        value_len: cfg.scale.value_len,
+        warmup_ops: cfg.warmup_ops,
+        measure_ops: cfg.measure_ops,
+        seed,
+        faults: FaultPlan::new(),
+        timeline_window_us: 0,
+        retry: RetryPolicy {
+            deadline_us: cfg.deadline_us,
+            ..RetryPolicy::none()
+        },
+        trace: obs::TraceConfig::off(),
+        arrival: ArrivalMode::OpenLoop(OpenLoop {
+            ops_per_sec: offered,
+            diurnal_amplitude: cfg.diurnal_amplitude,
+            diurnal_period_us: cfg.diurnal_period_us,
+            flash: cfg.flash,
+            tenants: cfg.tenants.clone(),
+        }),
+    }
+}
+
+/// Reduce one driver run into a Fig. 10 cell.
+fn cell_from(
+    cfg: &OverloadConfig,
+    store: StoreKind,
+    control: bool,
+    offered: f64,
+    run: &driver::RunOutcome,
+) -> OverloadCell {
+    let settled = (run.metrics.ops() + run.errors).max(1);
+    let shed: u64 = run.metrics.tenants().iter().map(|t| t.shed).sum();
+    let tenant = |i: usize| run.metrics.tenants().get(i);
+    let tenant_p99_us = (0..cfg.tenants.len())
+        .map(|i| tenant(i).map_or(0, |t| t.hist.quantile(0.99)))
+        .collect();
+    let tenant_shed_rate = (0..cfg.tenants.len())
+        .map(|i| {
+            tenant(i).map_or(0.0, |t| {
+                let total = t.hist.count() + t.errors;
+                if total == 0 {
+                    0.0
+                } else {
+                    t.shed as f64 / total as f64
+                }
+            })
+        })
+        .collect();
+    OverloadCell {
+        store,
+        control: if control { CONTROL_ON } else { CONTROL_OFF },
+        offered,
+        runtime: run.throughput,
+        goodput: run.throughput * (1.0 - run.errors as f64 / settled as f64),
+        shed,
+        shed_rate: shed as f64 / settled as f64,
+        errors: run.errors,
+        mean_us: run.mean_latency_us,
+        p99_us: run.metrics.overall().quantile(0.99),
+        tenant_p99_us,
+        tenant_shed_rate,
+        sla_met: cfg.sla.met_by(run),
+    }
+}
+
+/// Run the full Fig. 10 experiment through the sweep engine.
+pub fn run_overload(cfg: &OverloadConfig) -> OverloadResult {
+    run_overload_with(cfg, &Sweep::from_env())
+}
+
+/// [`run_overload`] on a caller-configured engine.
+pub fn run_overload_with(cfg: &OverloadConfig, sweep: &Sweep) -> OverloadResult {
+    // (store, control, load index), store-major then control-major, so the
+    // rendered panels read as uncontrolled ladder then controlled ladder.
+    let mut specs: Vec<(StoreKind, bool, usize)> = Vec::new();
+    for store in [StoreKind::CStore, StoreKind::HStore] {
+        for control in [false, true] {
+            for li in 0..cfg.offered_loads.len() {
+                specs.push((store, control, li));
+            }
+        }
+    }
+    // One loaded base per (store, control arm): the admission config is
+    // cluster state, so each arm gets its own base; every load step then
+    // snapshots copy-on-write from it.
+    let cpool: BasePool<bool, cstore::Cluster> = BasePool::new([false, true]);
+    let hpool: BasePool<bool, hstore::Cluster> = BasePool::new([false, true]);
+
+    let outcome = sweep.run(cfg.seed, &specs, |_ctx, &(store, control, li)| {
+        let offered = cfg.offered_loads[li];
+        // Control arms at the same (store, load) share a seed: identical
+        // arrival sequence, so the shed/no-shed comparison is paired.
+        let cell_seed =
+            cfg.seed ^ ((li as u64 + 1) << 17) ^ (u64::from(store == StoreKind::HStore) << 33);
+        let dcfg = driver_config(cfg, cell_seed, offered);
+        let run = match store {
+            StoreKind::CStore => {
+                let mut snapshot = cpool
+                    .get_or_load(&control, || {
+                        let mut base = setup::build_cstore_with(
+                            &cfg.scale,
+                            cfg.rf,
+                            cfg.read_cl,
+                            cfg.write_cl,
+                            |c| {
+                                if control {
+                                    c.admission = cfg.admission;
+                                }
+                            },
+                        );
+                        driver::load(&mut base, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+                        base
+                    })
+                    .snapshot();
+                driver::run(&mut snapshot, &dcfg)
+            }
+            StoreKind::HStore => {
+                let mut snapshot = hpool
+                    .get_or_load(&control, || {
+                        let mut base = setup::build_hstore_with(&cfg.scale, cfg.rf, |h| {
+                            if control {
+                                h.admission = cfg.admission;
+                            }
+                        });
+                        driver::load(&mut base, cfg.scale.records, cfg.scale.value_len, cfg.seed);
+                        base
+                    })
+                    .snapshot();
+                driver::run(&mut snapshot, &dcfg)
+            }
+        };
+        cell_from(cfg, store, control, offered, &run)
+    });
+
+    let mut telemetry = outcome.telemetry;
+    telemetry.record_pool(&cpool);
+    telemetry.record_pool(&hpool);
+    OverloadResult {
+        cells: outcome.results,
+        tenant_names: cfg.tenants.iter().map(|t| t.name).collect(),
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_overload_produces_the_full_grid() {
+        let cfg = OverloadConfig::quick();
+        let res = run_overload(&cfg);
+        // 2 stores × 2 control arms × 4 loads.
+        assert_eq!(res.cells.len(), 16);
+        for c in &res.cells {
+            assert!(c.runtime > 0.0, "{c:?}");
+            assert_eq!(c.tenant_p99_us.len(), 2);
+        }
+        assert!(res.render().contains("Fig. 10"));
+        assert_eq!(res.telemetry.base_loads, 4);
+    }
+
+    #[test]
+    fn uncontrolled_arm_never_sheds() {
+        let mut cfg = OverloadConfig::quick();
+        cfg.offered_loads = vec![32_000.0];
+        let res = run_overload(&cfg);
+        for store in [StoreKind::CStore, StoreKind::HStore] {
+            let c = res.cell(store, CONTROL_OFF, 32_000.0).expect("cell");
+            assert_eq!(c.shed, 0, "{store:?} shed without admission control");
+            assert_eq!(c.errors, 0, "{store:?} errored without faults");
+        }
+    }
+
+    #[test]
+    fn shedding_bounds_the_tail_past_the_knee() {
+        // At the top of the quick ladder (far past the tiny cluster's
+        // capacity) the uncontrolled arm's p99 is dominated by unbounded
+        // queueing; the admission arm sheds instead and keeps the admitted
+        // tail orders of magnitude lower.
+        let mut cfg = OverloadConfig::quick();
+        cfg.offered_loads = vec![32_000.0];
+        let res = run_overload(&cfg);
+        for store in [StoreKind::CStore, StoreKind::HStore] {
+            let off = res.cell(store, CONTROL_OFF, 32_000.0).expect("cell");
+            let on = res.cell(store, CONTROL_ON, 32_000.0).expect("cell");
+            assert!(on.shed > 0, "{store:?} must shed past the knee");
+            assert!(
+                on.p99_us * 4 < off.p99_us,
+                "{store:?}: admitted p99 {} should be far below uncontrolled {}",
+                on.p99_us,
+                off.p99_us
+            );
+            // Graceful degradation in SLA terms: shedding keeps the
+            // latency bound and stays inside the 50% error budget, the
+            // uncontrolled arm blows the latency bound.
+            assert!(on.sla_met, "{store:?}: admission arm should meet SLA");
+            assert!(!off.sla_met, "{store:?}: uncontrolled arm should not");
+        }
+    }
+
+    #[test]
+    fn strict_priority_sheds_the_batch_tenant_first() {
+        let mut cfg = OverloadConfig::quick();
+        cfg.offered_loads = vec![32_000.0];
+        let res = run_overload(&cfg);
+        for store in [StoreKind::CStore, StoreKind::HStore] {
+            let on = res.cell(store, CONTROL_ON, 32_000.0).expect("cell");
+            // tenants[0] = interactive (priority 0), tenants[1] = batch
+            // (priority 2, bound max_in_flight >> 2).
+            assert!(
+                on.tenant_shed_rate[1] > on.tenant_shed_rate[0],
+                "{store:?}: batch shed {} should exceed interactive shed {}",
+                on.tenant_shed_rate[1],
+                on.tenant_shed_rate[0]
+            );
+        }
+    }
+}

@@ -21,28 +21,50 @@ use crate::store::SimStore;
 use crate::sweep::Sweep;
 
 /// A service-level agreement: quantile `percentile` of request latencies
-/// must be at or below `latency_us`.
+/// must be at or below `latency_us`, with at most `error_budget` of
+/// requests failing.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sla {
     /// The guaranteed quantile, e.g. `0.95`.
     pub percentile: f64,
     /// The latency bound at that quantile, microseconds.
     pub latency_us: u64,
+    /// Tolerated fraction of failed requests in `[0, 1]`. `0` (the strict
+    /// default) fails the SLA on any error; production agreements budget a
+    /// small fraction so a single fault-window error — or a deliberately
+    /// shed request — doesn't void certification. Shed/errored ops consume
+    /// budget but contribute no latency samples.
+    pub error_budget: f64,
 }
 
 impl Sla {
-    /// A typical interactive-service agreement: p95 ≤ 10 ms.
+    /// A typical interactive-service agreement: p95 ≤ 10 ms, zero errors.
     pub fn p95_10ms() -> Self {
         Self {
             percentile: 0.95,
             latency_us: 10_000,
+            error_budget: 0.0,
         }
     }
 
-    /// Does a run outcome satisfy the agreement?
+    /// This agreement with an error budget: up to `budget` (a fraction of
+    /// all requests) may fail without voiding it.
+    pub fn with_error_budget(mut self, budget: f64) -> Self {
+        self.error_budget = budget;
+        self
+    }
+
+    /// Does a run outcome satisfy the agreement? Errors (including shed
+    /// ops) are compared against the budget as a fraction of all settled
+    /// requests; the latency quantile is taken over successes only.
     pub fn met_by(&self, outcome: &driver::RunOutcome) -> bool {
-        outcome.errors == 0
-            && outcome.metrics.overall().quantile(self.percentile) <= self.latency_us
+        let total = outcome.metrics.ops() + outcome.errors;
+        let within_budget = if outcome.errors == 0 {
+            true
+        } else {
+            total > 0 && outcome.errors as f64 <= self.error_budget * total as f64
+        };
+        within_budget && outcome.metrics.overall().quantile(self.percentile) <= self.latency_us
     }
 }
 
@@ -150,6 +172,7 @@ where
                     timeline_window_us: 0,
                     retry: RetryPolicy::none(),
                     trace: obs::TraceConfig::off(),
+                    arrival: crate::driver::ArrivalMode::ClosedLoop,
                 };
                 let out = driver::run(&mut snapshot, &dcfg);
                 let q = out.metrics.overall().quantile(cfg.sla.percentile);
@@ -267,6 +290,7 @@ mod tests {
         let sla = Sla {
             percentile: 0.95,
             latency_us: 1, // nothing responds in a microsecond
+            error_budget: 0.0,
         };
         let cap = find_sla_capacity(&base, &quick_search(scale, sla));
         assert_eq!(cap.capacity, 0.0);
@@ -284,6 +308,7 @@ mod tests {
                 Sla {
                     percentile: 0.95,
                     latency_us: 50_000,
+                    error_budget: 0.0,
                 },
             ),
         );
@@ -294,6 +319,7 @@ mod tests {
                 Sla {
                     percentile: 0.95,
                     latency_us: 3_000,
+                    error_budget: 0.0,
                 },
             ),
         );
@@ -302,6 +328,39 @@ mod tests {
             "tight {} > loose {}",
             tight.capacity,
             loose.capacity
+        );
+    }
+
+    #[test]
+    fn error_budget_tolerates_bounded_failures() {
+        // Synthesize outcomes via a real quick run, then perturb the error
+        // count: the budget, not a hard zero, decides.
+        let scale = Scale::tiny();
+        let mut base = build_cstore(&scale, 2, Consistency::One, Consistency::One);
+        driver::load(&mut base, scale.records, scale.value_len, 1);
+        let cfg = DriverConfig {
+            threads: 8,
+            warmup_ops: 100,
+            measure_ops: 500,
+            value_len: scale.value_len,
+            ..DriverConfig::new(WorkloadSpec::read_mostly(), scale.records)
+        };
+        let mut out = driver::run(&mut base, &cfg);
+        let loose = Sla {
+            percentile: 0.95,
+            latency_us: u64::MAX,
+            error_budget: 0.0,
+        };
+        assert!(loose.met_by(&out), "clean run meets a zero-budget SLA");
+        out.errors = 3; // a fault window's worth of failures
+        assert!(!loose.met_by(&out), "zero budget still fails on any error");
+        assert!(
+            loose.with_error_budget(0.01).met_by(&out),
+            "3 errors in ~500 ops fit a 1% budget"
+        );
+        assert!(
+            !loose.with_error_budget(0.001).met_by(&out),
+            "3 errors in ~500 ops exceed a 0.1% budget"
         );
     }
 

@@ -9,7 +9,7 @@
 //! (for reads) optional all-replica repair fan-out.
 
 use obs::{Stage, Tracer};
-use simkit::{NodeId, OpKey, Sim, SimTime, Slab};
+use simkit::{NodeId, OpKey, OpTag, Sim, SimTime, Slab};
 use storage::types::entry_encoded_len;
 use storage::{Cell, Completion, Key, OpError, OpResult, StoreOp, Value};
 
@@ -256,7 +256,7 @@ impl Cluster {
         for i in 0..self.nodes.len() {
             if !self.nodes[i].hints.is_empty() {
                 sim.schedule_in(
-                    1_000,
+                    self.config.hint_replay_delay_us,
                     W::from(Event::HintReplay {
                         node: NodeId(i as u32),
                     }),
@@ -424,6 +424,37 @@ impl Cluster {
     /// Submit a client operation. The completion (with `token`) is emitted
     /// through [`Cluster::drain_completions`] once the `Deliver` event fires.
     pub fn submit<W: From<Event>>(&mut self, sim: &mut Sim<W>, token: u64, op: StoreOp) {
+        self.submit_tagged(sim, token, op, OpTag::default());
+    }
+
+    /// [`Cluster::submit`] with client scheduling metadata. When admission
+    /// control is enabled and the coordinator's in-flight bound sheds the
+    /// op, the completion is an immediate [`OpError::Overloaded`] fast-fail:
+    /// no events are scheduled and no RNG is drawn, mirroring the
+    /// availability fast-fail path.
+    pub fn submit_tagged<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        token: u64,
+        op: StoreOp,
+        tag: OpTag,
+    ) {
+        if self.config.admission.enabled()
+            && !self
+                .config
+                .admission
+                .admits(self.pending.len(), tag, sim.now())
+        {
+            self.metrics.shed += 1;
+            let now = sim.now();
+            self.tracer
+                .record(token, Stage::AdmissionQueue, 0, now, now);
+            self.completed.push(Completion {
+                token,
+                result: OpResult::Error(OpError::Overloaded),
+            });
+            return;
+        }
         if !self.pauses_started {
             self.pauses_started = true;
             if self.config.pause_interval_us > 0 {
@@ -549,10 +580,6 @@ impl Cluster {
         sim.schedule_in(dur + jitter, W::from(Event::GcPause { node }));
     }
 
-    /// One background-I/O chunk size (64 KiB keeps foreground reads able to
-    /// interleave between chunks on the FIFO disk).
-    const BG_CHUNK: u64 = 64 * 1024;
-
     /// Start draining a node's background backlog if not already draining.
     fn kick_bg_io<W: From<Event>>(&mut self, sim: &mut Sim<W>, node: NodeId) {
         let n = &mut self.nodes[node.index()];
@@ -564,12 +591,13 @@ impl Cluster {
 
     fn on_bg_io<W: From<Event>>(&mut self, sim: &mut Sim<W>, node: NodeId) {
         let rate = self.config.bg_io_rate;
+        let chunk_bytes = self.config.bg_chunk_bytes;
         let n = &mut self.nodes[node.index()];
         if n.bg_backlog == 0 {
             n.bg_active = false;
             return;
         }
-        let chunk = n.bg_backlog.min(Self::BG_CHUNK);
+        let chunk = n.bg_backlog.min(chunk_bytes);
         n.bg_backlog -= chunk;
         n.hw.disk.seq_write(sim.now(), chunk);
         if n.bg_backlog > 0 {

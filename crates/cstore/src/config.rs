@@ -1,6 +1,6 @@
 //! Cluster configuration: consistency levels, service costs, tuning knobs.
 
-use simkit::{NodeProfile, Topology};
+use simkit::{AdmissionConfig, NodeProfile, Topology};
 use storage::LsmConfig;
 
 use crate::ring::Partitioner;
@@ -158,6 +158,17 @@ pub struct CStoreConfig {
     /// (Cassandra's `rpc_timeout_in_ms`; fault experiments shorten it so
     /// timeout behaviour is visible within one timeline window).
     pub rpc_timeout_us: u64,
+    /// Coordinator admission control: bounded in-flight queue with load
+    /// shedding. Disabled by default ([`AdmissionConfig::off`]) — off runs
+    /// add zero events and zero RNG draws.
+    pub admission: AdmissionConfig,
+    /// Background-I/O chunk size, bytes. Flush/compaction backlogs drain in
+    /// chunks of this size so foreground reads can interleave between
+    /// chunks on the FIFO disk (64 KiB ≈ one SSTable block write).
+    pub bg_chunk_bytes: u64,
+    /// Delay before a recovered node's stored hints start replaying, µs
+    /// (Cassandra staggers replay so a rejoining node isn't flattened).
+    pub hint_replay_delay_us: u64,
     /// Per-node storage-engine tuning.
     pub lsm: LsmConfig,
     /// Key partitioning scheme.
@@ -195,6 +206,9 @@ impl CStoreConfig {
             pause_interval_us: 0,
             pause_duration_us: 50_000,
             rpc_timeout_us: 2_000_000,
+            admission: AdmissionConfig::off(),
+            bg_chunk_bytes: 64 * 1024,
+            hint_replay_delay_us: 1_000,
             lsm: LsmConfig::default(),
             partitioner,
             strategy: geo::Strategy::Simple,

@@ -29,6 +29,8 @@ pub struct Metrics {
     pub compactions: u64,
     /// Stop-the-world pauses taken across the cluster.
     pub gc_pauses: u64,
+    /// Operations shed at the coordinator door by admission control.
+    pub shed: u64,
 }
 
 impl Metrics {

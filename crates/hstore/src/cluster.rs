@@ -10,7 +10,7 @@
 
 use dfs::DfsCluster;
 use obs::{Stage, Tracer};
-use simkit::{NodeHw, NodeId, OpKey, Sim, SimRng, SimTime, Slab};
+use simkit::{NodeHw, NodeId, OpKey, OpTag, Sim, SimRng, SimTime, Slab};
 use storage::types::entry_encoded_len;
 use storage::{Cell, Completion, Key, OpError, OpResult, StoreOp, Value};
 
@@ -138,10 +138,6 @@ impl Cluster {
         }
     }
 
-    /// One background-I/O chunk size (64 KiB keeps foreground reads able to
-    /// interleave between chunks on the FIFO disk).
-    const BG_CHUNK: u64 = 64 * 1024;
-
     /// Start draining a server's background backlog if not already draining.
     fn kick_bg_io<W: From<Event>>(&mut self, sim: &mut Sim<W>, server: NodeId) {
         let i = server.index();
@@ -157,7 +153,7 @@ impl Cluster {
             self.bg_active[i] = false;
             return;
         }
-        let chunk = self.bg_backlog[i].min(Self::BG_CHUNK);
+        let chunk = self.bg_backlog[i].min(self.config.bg_chunk_bytes);
         self.bg_backlog[i] -= chunk;
         self.servers[i].disk.seq_write(sim.now(), chunk);
         if self.bg_backlog[i] > 0 {
@@ -422,6 +418,37 @@ impl Cluster {
 
     /// Submit a client operation.
     pub fn submit<W: From<Event>>(&mut self, sim: &mut Sim<W>, token: u64, op: StoreOp) {
+        self.submit_tagged(sim, token, op, OpTag::default());
+    }
+
+    /// [`Cluster::submit`] with client scheduling metadata. When admission
+    /// control is enabled and the regionserver's in-flight bound sheds the
+    /// op, the completion is an immediate [`OpError::Overloaded`] fast-fail:
+    /// no events are scheduled and no RNG is drawn, mirroring the
+    /// `ServerDown` fast-fail path.
+    pub fn submit_tagged<W: From<Event>>(
+        &mut self,
+        sim: &mut Sim<W>,
+        token: u64,
+        op: StoreOp,
+        tag: OpTag,
+    ) {
+        if self.config.admission.enabled()
+            && !self
+                .config
+                .admission
+                .admits(self.pending.len(), tag, sim.now())
+        {
+            self.metrics.shed += 1;
+            let now = sim.now();
+            self.tracer
+                .record(token, Stage::AdmissionQueue, 0, now, now);
+            self.completed.push(Completion {
+                token,
+                result: OpResult::Error(OpError::Overloaded),
+            });
+            return;
+        }
         if !self.pauses_started {
             self.pauses_started = true;
             if self.config.pause_interval_us > 0 {

@@ -1,6 +1,6 @@
 //! Cluster configuration.
 
-use simkit::{NodeProfile, Topology};
+use simkit::{AdmissionConfig, NodeProfile, Topology};
 use storage::{Key, LsmConfig};
 
 /// CPU service times (microseconds) for the HBase-analog request path.
@@ -76,6 +76,15 @@ pub struct HStoreConfig {
     /// experiments shorten it so timeout behaviour is visible within one
     /// timeline window).
     pub rpc_timeout_us: u64,
+    /// Regionserver admission control: bounded in-flight queue with load
+    /// shedding (HBase's RPC call-queue bound). Disabled by default
+    /// ([`AdmissionConfig::off`]) — off runs add zero events and zero RNG
+    /// draws.
+    pub admission: AdmissionConfig,
+    /// Background-I/O chunk size, bytes. Flush/compaction backlogs drain in
+    /// chunks of this size so foreground reads can interleave between
+    /// chunks on the FIFO disk.
+    pub bg_chunk_bytes: u64,
     /// Crash-detection delay, microseconds: how long after a server crash
     /// the master notices (ZooKeeper session expiry) and starts region
     /// failover. During this window requests to the dead server's regions
@@ -116,6 +125,8 @@ impl HStoreConfig {
             pause_interval_us: 0,
             pause_duration_us: 50_000,
             rpc_timeout_us: 2_000_000,
+            admission: AdmissionConfig::off(),
+            bg_chunk_bytes: 64 * 1024,
             failover_delay_us: 0,
             follower_regions: 0,
             ship_wan_us: geo::DEFAULT_INTER_REGION_US,

@@ -28,6 +28,8 @@ pub struct Metrics {
     /// WAL groups shipped to follower regions (async cluster replication);
     /// one count per (group, follower) arrival.
     pub wal_ships: u64,
+    /// Operations shed at the regionserver door by admission control.
+    pub shed: u64,
 }
 
 impl Metrics {

@@ -47,6 +47,9 @@ pub enum Stage {
     /// A cross-region (WAN) network hop: replica RPC or WAL shipment whose
     /// endpoints sit in different datacenters.
     WanHop,
+    /// Admission-control decision point: a zero-width span marks an op shed
+    /// at the door (rejected/early-dropped before entering the server).
+    AdmissionQueue,
     /// Synthetic filler for critical-path gaps no recorded span covers
     /// (e.g. event-queue ordering slack). Keeps stage sums exact.
     Wait,
@@ -54,7 +57,7 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, in discriminant (= export column) order.
-    pub const ALL: [Stage; 18] = [
+    pub const ALL: [Stage; 19] = [
         Stage::ClientSend,
         Stage::ServerCpu,
         Stage::ReplicaRpc,
@@ -72,6 +75,7 @@ impl Stage {
         Stage::RetryBackoff,
         Stage::GcPause,
         Stage::WanHop,
+        Stage::AdmissionQueue,
         Stage::Wait,
     ];
 
@@ -95,6 +99,7 @@ impl Stage {
             Stage::RetryBackoff => "retry_backoff",
             Stage::GcPause => "gc_pause",
             Stage::WanHop => "wan_hop",
+            Stage::AdmissionQueue => "admission_queue",
             Stage::Wait => "wait",
         }
     }

@@ -29,6 +29,9 @@
 //! * [`topology`] — cluster/rack layout and inter-node latency.
 //! * [`rng`] — a seedable, platform-stable xoshiro256** RNG implementing
 //!   `rand::RngCore`, so every experiment is reproducible bit-for-bit.
+//! * [`admission`] — the pure admission-control decision kernel
+//!   ([`AdmissionConfig`]/[`OpTag`]) both store analogs consult at their
+//!   front door for bounded queues and load shedding.
 //!
 //! Latency and throughput in the reproduced figures *emerge* from contention
 //! on these resources; nothing in the upper layers hard-codes a curve.
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod admission;
 pub mod hardware;
 pub mod queue;
 pub mod resource;
@@ -45,6 +49,7 @@ pub mod slab;
 pub mod time;
 pub mod topology;
 
+pub use admission::{AdmissionConfig, AdmissionPolicy, OpTag};
 pub use hardware::{Disk, DiskProfile, Nic, NicProfile, NodeHw, NodeProfile};
 pub use queue::{EventQueue, QueueKind};
 pub use resource::{FifoResource, MultiServer};

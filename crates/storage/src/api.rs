@@ -134,6 +134,11 @@ pub enum OpError {
     /// all attempts. Emitted by the driver's resilience layer, never by a
     /// store.
     Deadline,
+    /// The store's admission controller shed the request before queuing it:
+    /// the server is saturated and chose a fast-fail over an unbounded
+    /// queue. Retryable — backing off and re-attempting may land in a less
+    /// loaded interval.
+    Overloaded,
 }
 
 impl OpError {
@@ -141,7 +146,9 @@ impl OpError {
     /// failure is a transient server-side condition rather than a verdict.
     pub fn is_retryable(self) -> bool {
         match self {
-            OpError::Unavailable | OpError::ServerDown | OpError::Timeout => true,
+            OpError::Unavailable | OpError::ServerDown | OpError::Timeout | OpError::Overloaded => {
+                true
+            }
             OpError::Deadline => false,
         }
     }
@@ -153,6 +160,7 @@ impl OpError {
             OpError::ServerDown => "server-down",
             OpError::Timeout => "timeout",
             OpError::Deadline => "deadline",
+            OpError::Overloaded => "overloaded",
         }
     }
 }
@@ -262,8 +270,10 @@ mod tests {
         assert!(OpError::Unavailable.is_retryable());
         assert!(OpError::ServerDown.is_retryable());
         assert!(OpError::Timeout.is_retryable());
+        assert!(OpError::Overloaded.is_retryable());
         assert!(!OpError::Deadline.is_retryable());
         assert_eq!(OpError::Timeout.label(), "timeout");
         assert_eq!(OpError::Deadline.label(), "deadline");
+        assert_eq!(OpError::Overloaded.label(), "overloaded");
     }
 }

@@ -15,6 +15,9 @@
 //! * [`client`] — closed-loop client-thread pacing with optional target
 //!   throughput throttling (YCSB's `-target`), the mechanism behind the
 //!   paper's runtime-vs-target throughput curves.
+//! * [`arrival`] — open-loop arrival processes (Poisson interarrivals,
+//!   diurnal rate curves, flash crowds, multi-tenant mixes) whose
+//!   percentiles are coordinated-omission-free.
 //! * [`validate`] — stale-read detection, used to *measure* consistency
 //!   rather than assume it.
 //!
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arrival;
 pub mod client;
 pub mod generator;
 pub mod keys;
@@ -31,9 +35,10 @@ pub mod stats;
 pub mod validate;
 pub mod workload;
 
+pub use arrival::{FlashCrowd, OpenLoop, Tenant};
 pub use client::Throttle;
 pub use generator::RequestDistribution;
 pub use keys::{balanced_tokens, encode_key, encode_point, KeyInterner, KeySpace, ValuePool};
-pub use stats::{Histogram, ResilienceCounters, RunMetrics, Timeline, TimelineWindow};
+pub use stats::{Histogram, ResilienceCounters, RunMetrics, TenantStats, Timeline, TimelineWindow};
 pub use validate::StalenessTracker;
 pub use workload::{DistributionKind, OpMix, WorkloadSpec};

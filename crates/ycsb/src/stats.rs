@@ -340,6 +340,20 @@ pub struct ResilienceCounters {
     pub retried_ok: u64,
 }
 
+/// Per-tenant accounting for multi-tenant open-loop runs: which tenant's
+/// traffic got served, which got shed. Indexed by the arrival mix's tenant
+/// position.
+#[derive(Debug, Clone, Default)]
+pub struct TenantStats {
+    /// Latencies of the tenant's successful ops in the measured window.
+    pub hist: Histogram,
+    /// Client-visible failures (shed ops included).
+    pub errors: u64,
+    /// Of those, ops the store's admission controller shed. Budget
+    /// consumers, not latency samples.
+    pub shed: u64,
+}
+
 /// Aggregated metrics for one benchmark run.
 #[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
@@ -347,6 +361,7 @@ pub struct RunMetrics {
     all: Option<Histogram>,
     timeline: Option<Timeline>,
     resilience: ResilienceCounters,
+    tenants: Vec<TenantStats>,
     started_at: u64,
     finished_at: u64,
     errors: u64,
@@ -410,6 +425,35 @@ impl RunMetrics {
         if let Some(t) = &mut self.timeline {
             t.record_failure(at, attempts);
         }
+    }
+
+    fn tenant_mut(&mut self, tenant: usize) -> &mut TenantStats {
+        if self.tenants.len() <= tenant {
+            self.tenants.resize_with(tenant + 1, TenantStats::default);
+        }
+        &mut self.tenants[tenant]
+    }
+
+    /// Record one successful completion for tenant index `tenant`
+    /// (multi-tenant open-loop runs; single-tenant runs never call this).
+    pub fn record_tenant(&mut self, tenant: usize, latency_us: u64) {
+        self.tenant_mut(tenant).hist.record(latency_us);
+    }
+
+    /// Record one client-visible failure for tenant index `tenant`;
+    /// `shed` marks admission-control rejections.
+    pub fn record_tenant_error(&mut self, tenant: usize, shed: bool) {
+        let t = self.tenant_mut(tenant);
+        t.errors += 1;
+        if shed {
+            t.shed += 1;
+        }
+    }
+
+    /// Per-tenant stats, indexed by tenant position in the arrival mix.
+    /// Empty unless the tenant hooks above were used.
+    pub fn tenants(&self) -> &[TenantStats] {
+        &self.tenants
     }
 
     /// The run's client-resilience counters.
@@ -751,6 +795,21 @@ mod tests {
         // An empty window has no attempts-per-op.
         let empty = Timeline::new(10).windows();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn tenant_stats_grow_on_demand_and_split_shed_from_errors() {
+        let mut m = RunMetrics::new();
+        assert!(m.tenants().is_empty());
+        m.record_tenant(1, 500);
+        m.record_tenant_error(0, true);
+        m.record_tenant_error(0, false);
+        assert_eq!(m.tenants().len(), 2);
+        assert_eq!(m.tenants()[0].errors, 2);
+        assert_eq!(m.tenants()[0].shed, 1);
+        assert_eq!(m.tenants()[0].hist.count(), 0);
+        assert_eq!(m.tenants()[1].hist.count(), 1);
+        assert_eq!(m.tenants()[1].errors, 0);
     }
 
     #[test]

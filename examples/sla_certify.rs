@@ -20,6 +20,7 @@ fn main() {
     let sla = Sla {
         percentile: 0.95,
         latency_us: 5_000,
+        error_budget: 0.0,
     };
     let search = |scale: Scale| SlaSearchConfig {
         threads: 16,
