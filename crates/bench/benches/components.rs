@@ -145,6 +145,79 @@ fn bench_lsm_read_path(c: &mut Criterion) {
     });
 }
 
+fn bench_lsm_get_hot(c: &mut Criterion) {
+    // Steady-state point read with the block cache warm: memtable miss →
+    // bloom pass → cache hit, the zero-copy get path end to end.
+    let mut tree = LsmTree::new(LsmConfig {
+        cache_bytes: 16 << 20,
+        ..LsmConfig::default()
+    });
+    for i in 0..50_000u64 {
+        tree.put(key(i), Cell::live(bytes::Bytes::from(vec![1u8; 100]), i));
+        if i % 10_000 == 9_999 {
+            tree.flush();
+        }
+    }
+    tree.flush();
+    // Warm the hot set.
+    for i in 0..512u64 {
+        tree.get(&key(i));
+    }
+    c.bench_function("lsm/get_hot", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(7);
+            black_box(tree.get(&key(i % 512)).cell.is_some())
+        });
+    });
+}
+
+fn bench_lsm_get_cold(c: &mut Criterion) {
+    // Cache-starved point read: nearly every get fetches a block from
+    // "disk" and churns the LRU.
+    let mut tree = LsmTree::new(LsmConfig {
+        cache_bytes: 8 << 10,
+        ..LsmConfig::default()
+    });
+    for i in 0..50_000u64 {
+        tree.put(key(i), Cell::live(bytes::Bytes::from(vec![1u8; 100]), i));
+    }
+    tree.flush();
+    c.bench_function("lsm/get_cold", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(2_654_435_761);
+            black_box(tree.get(&key(i % 50_000)).cell.is_some())
+        });
+    });
+}
+
+fn bench_compact_merge(c: &mut Criterion) {
+    // The streaming k-way merge at compaction fan-ins from routine
+    // (size-tiered minor) to worst-case (major over a wide tier).
+    use storage::merge::merge_runs;
+    use storage::Key;
+
+    let value = bytes::Bytes::from(vec![7u8; 100]);
+    for runs_n in [4usize, 16, 64] {
+        let per_run = 32_768 / runs_n;
+        let runs: Vec<Vec<(Key, Cell)>> = (0..runs_n)
+            .map(|r| {
+                (0..per_run)
+                    .map(|i| {
+                        let id = (i * 2 + (r & 1)) as u64;
+                        (key(id), Cell::live(value.clone(), r as u64))
+                    })
+                    .collect()
+            })
+            .collect();
+        let views: Vec<&[(Key, Cell)]> = runs.iter().map(Vec::as_slice).collect();
+        c.bench_function(&format!("lsm/compact_merge_{runs_n}"), |b| {
+            b.iter(|| black_box(merge_runs(&views, true).len()));
+        });
+    }
+}
+
 fn bench_snapshot_vs_reload(c: &mut Criterion) {
     // The sweep engine's economics: stamping a copy-on-write snapshot out
     // of a loaded base state vs rebuilding and bulk-loading from scratch,
@@ -180,6 +253,9 @@ criterion_group!(
     bench_bloom,
     bench_cache,
     bench_lsm_read_path,
+    bench_lsm_get_hot,
+    bench_lsm_get_cold,
+    bench_compact_merge,
     bench_snapshot_vs_reload,
 );
 criterion_main!(benches);

@@ -18,8 +18,6 @@
 //! could push issuance late — so open-loop latency percentiles are free of
 //! coordinated omission by construction.
 
-use std::collections::HashMap;
-
 use faults::{FaultInjector, FaultPlan, FaultTarget};
 use simkit::{OpKey, OpTag, Sim, SimTime, Slab};
 use storage::{Key, OpError, OpKind, OpResult, StoreOp};
@@ -262,7 +260,7 @@ where
     // Attempt token -> logical op id, for every attempt of a traced op.
     // Retries, hedges, and the RMW write phase submit fresh tokens whose
     // spans must fold back into the logical op's trace.
-    let mut trace_of: HashMap<u64, u64> = HashMap::new();
+    let mut trace_of: simkit::FastHashMap<u64, u64> = simkit::FastHashMap::default();
     // Settle metadata of traced ops: (logical id, kind, issued, settled, ok).
     let mut traced_settled: Vec<(u64, OpKind, SimTime, SimTime, bool)> = Vec::new();
     let mut window_start: SimTime = 0;

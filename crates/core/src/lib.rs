@@ -45,10 +45,12 @@
 //!   per-tenant p99, and SLA attainment per load step.
 //! * [`ablation`] — beyond-paper experiments: read repair on/off,
 //!   commit-log durability modes, node failure/failover.
-//! * [`perf`] — engine-speed measurement (`BENCH_006.json`): queue-churn
+//! * [`perf`] — engine-speed measurement (`BENCH_009.json`): queue-churn
 //!   hold-model benchmarks of the calendar queue against the reference
-//!   heap, timed whole-driver runs on either backend, and peak-RSS capture,
-//!   feeding the CI events/sec regression gate.
+//!   heap, LSM storage microbenches (hot/cold gets, flush cycles, the
+//!   streaming compaction merge), timed whole-driver runs on either
+//!   backend, and peak-RSS capture, feeding the CI events/sec and
+//!   ops/sec regression gates.
 //! * [`sla`] — the paper's §6 future work: SLA-based stress specification
 //!   (bisection search for the highest throughput meeting a latency SLA).
 //! * [`sweep`] — the shared experiment engine every module above runs on:

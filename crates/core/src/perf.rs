@@ -1,22 +1,30 @@
-//! Engine-speed measurement: the numbers behind `results/BENCH_006.json`.
+//! Engine-speed measurement: the numbers behind `results/BENCH_009.json`.
 //!
-//! The event core is the denominator of every experiment's wall-clock cost,
-//! so this PR pins its speed as a tracked artifact instead of folklore. Two
-//! measurements, both runnable in seconds:
+//! The event core and the storage engine are the denominator of every
+//! experiment's wall-clock cost, so this artifact pins their speed as a
+//! tracked number instead of folklore. Three measurements, all runnable in
+//! seconds:
 //!
 //! * [`queue_churn`] — the classic hold model for priority queues: keep a
 //!   fixed population of pending events and repeatedly pop-one/push-one
 //!   with a near-future increment. This isolates the queue itself (the
 //!   calendar wheel vs the reference binary heap) at controlled pending
 //!   counts, with an event payload as fat as the cluster models' enums.
+//! * [`storage_microbench`] — LSM hot paths in isolation: cache-hot and
+//!   cache-cold point reads, put+flush cycles, and the streaming
+//!   compaction merge at several run counts. These track the zero-copy
+//!   storage work (borrowed k-way merge, refcounted payloads, fast block
+//!   cache hashing) without the cluster models on top.
 //! * [`driver_run`] — a whole benchmark run through [`crate::driver::run`]
 //!   against a loaded store, timed end to end, on a chosen queue backend.
-//!   This shows how much of the queue win survives once replica models,
-//!   caches, and metrics share the profile.
+//!   This shows how much of the layer-level wins survive once replica
+//!   models, caches, and metrics share the profile.
 //!
 //! [`PerfReport::to_json`] emits the hand-rolled JSON the CI regression
 //! gate diffs against the committed baseline ([`extract_number`] is the
-//! matching reader — the workspace deliberately has no serde).
+//! matching reader — the workspace deliberately has no serde). The gate
+//! tracks two floors: calendar churn events/sec ([`PerfReport::gate_events_per_sec`])
+//! and whole-driver cstore ops/sec ([`PerfReport::gate_ops_per_sec`]).
 
 use std::time::{Duration, Instant};
 
@@ -27,6 +35,8 @@ use crate::driver::{self, DriverConfig};
 use crate::setup::{build_cstore, build_hstore, Scale, StoreKind};
 use crate::store::SimStore;
 use cstore::Consistency;
+use storage::merge::merge_runs;
+use storage::{Cell, Key, LsmConfig, LsmTree};
 
 /// Queue-churn event payload: sized like the fat end of the cluster event
 /// enums (≈100 bytes), so per-level memcpy cost in the heap is realistic.
@@ -188,6 +198,167 @@ where
     }
 }
 
+/// One storage-engine microbench measurement.
+#[derive(Debug, Clone)]
+pub struct StorageSample {
+    /// Which microbench ran (`lsm_get_hot`, `lsm_get_cold`, `flush`,
+    /// `compact_merge_4` …).
+    pub name: &'static str,
+    /// Operations (gets, puts, or merged entries) executed in the timed loop.
+    pub ops: u64,
+    /// Wall-clock time for the timed loop (excludes setup).
+    pub wall: Duration,
+}
+
+impl StorageSample {
+    /// Operations per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        per_sec(self.ops, self.wall)
+    }
+}
+
+fn storage_key(i: u64) -> Key {
+    Key::from(format!("user{i:012}").into_bytes())
+}
+
+/// A flushed LSM tree holding `records` keys with ~`value_len`-byte values.
+fn loaded_tree(records: u64, value_len: usize, cache_bytes: u64) -> LsmTree {
+    let mut tree = LsmTree::new(LsmConfig {
+        cache_bytes,
+        ..LsmConfig::default()
+    });
+    let value = Key::from(vec![7u8; value_len]);
+    for i in 0..records {
+        tree.put(storage_key(i), Cell::live(value.clone(), i));
+    }
+    tree.flush();
+    tree
+}
+
+/// Point reads against a small working set that fits the block cache: the
+/// steady-state read path (memtable miss → bloom pass → cache hit).
+pub fn lsm_get_hot(quick: bool) -> StorageSample {
+    let records: u64 = if quick { 2_000 } else { 20_000 };
+    let gets: u64 = if quick { 50_000 } else { 1_000_000 };
+    let hot: u64 = 512;
+    let mut tree = loaded_tree(records, 64, 4 << 20);
+    for i in 0..hot {
+        std::hint::black_box(tree.get(&storage_key(i)));
+    }
+    let start = Instant::now();
+    let mut found = 0u64;
+    for i in 0..gets {
+        let r = tree.get(&storage_key((i.wrapping_mul(7)) % hot));
+        if r.cell.is_some() {
+            found += 1;
+        }
+    }
+    let wall = start.elapsed();
+    assert_eq!(found, gets, "hot gets must all hit");
+    StorageSample {
+        name: "lsm_get_hot",
+        ops: gets,
+        wall,
+    }
+}
+
+/// Point reads spread over the whole keyspace against a cache far smaller
+/// than the data: the disk-dominated read path (block fetch + insert/evict
+/// on every get).
+pub fn lsm_get_cold(quick: bool) -> StorageSample {
+    let records: u64 = if quick { 2_000 } else { 20_000 };
+    let gets: u64 = if quick { 20_000 } else { 400_000 };
+    let mut tree = loaded_tree(records, 64, 8 << 10);
+    let start = Instant::now();
+    let mut found = 0u64;
+    for i in 0..gets {
+        let r = tree.get(&storage_key((i.wrapping_mul(2_654_435_761)) % records));
+        if r.cell.is_some() {
+            found += 1;
+        }
+    }
+    let wall = start.elapsed();
+    assert_eq!(found, gets, "cold gets must all hit");
+    StorageSample {
+        name: "lsm_get_cold",
+        ops: gets,
+        wall,
+    }
+}
+
+/// Write path: puts into the memtable plus the flushes they trigger (WAL
+/// append by reference, memtable drained by move into `SsTable::build`).
+pub fn lsm_flush(quick: bool) -> StorageSample {
+    let puts: u64 = if quick { 20_000 } else { 400_000 };
+    let mut tree = LsmTree::new(LsmConfig {
+        // Large enough to disable auto-compaction pressure but small enough
+        // to exercise many flush cycles.
+        memtable_flush_bytes: 64 << 10,
+        ..LsmConfig::default()
+    });
+    let value = Key::from(vec![7u8; 64]);
+    let start = Instant::now();
+    for i in 0..puts {
+        let receipt = tree.put(storage_key(i % 50_000), Cell::live(value.clone(), i));
+        if receipt.flush_due {
+            tree.flush();
+        }
+    }
+    tree.flush();
+    let wall = start.elapsed();
+    StorageSample {
+        name: "flush",
+        ops: puts,
+        wall,
+    }
+}
+
+/// The streaming k-way compaction merge over `runs_n` sorted runs.
+/// Even/odd runs duplicate each other's keyspace, so the merge exercises
+/// both interleaving and last-write-wins reconciliation. `ops` counts input
+/// entries consumed.
+pub fn compact_merge(runs_n: usize, quick: bool) -> StorageSample {
+    let per_run: usize = if quick { 2_000 } else { 10_000 };
+    let value = Key::from(vec![7u8; 64]);
+    let runs: Vec<Vec<(Key, Cell)>> = (0..runs_n)
+        .map(|r| {
+            (0..per_run)
+                .map(|i| {
+                    let id = (i * 2 + (r & 1)) as u64;
+                    (storage_key(id), Cell::live(value.clone(), r as u64))
+                })
+                .collect()
+        })
+        .collect();
+    let views: Vec<&[(Key, Cell)]> = runs.iter().map(Vec::as_slice).collect();
+    let start = Instant::now();
+    let merged = merge_runs(&views, true);
+    let wall = start.elapsed();
+    std::hint::black_box(merged.len());
+    let name = match runs_n {
+        4 => "compact_merge_4",
+        16 => "compact_merge_16",
+        _ => "compact_merge_64",
+    };
+    StorageSample {
+        name,
+        ops: (runs_n * per_run) as u64,
+        wall,
+    }
+}
+
+/// The full storage microbench suite in report order.
+pub fn storage_microbench(quick: bool) -> Vec<StorageSample> {
+    vec![
+        lsm_get_hot(quick),
+        lsm_get_cold(quick),
+        lsm_flush(quick),
+        compact_merge(4, quick),
+        compact_merge(16, quick),
+        compact_merge(64, quick),
+    ]
+}
+
 /// Peak resident set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`), or 0 where procfs is unavailable.
 pub fn peak_rss_bytes() -> u64 {
@@ -209,13 +380,15 @@ pub fn peak_rss_bytes() -> u64 {
     0
 }
 
-/// The full measurement set perfbench serializes to `BENCH_006.json`.
+/// The full measurement set perfbench serializes to `BENCH_009.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
     /// `true` for the CI smoke variant (smaller populations and op counts).
     pub quick: bool,
     /// Queue-churn samples, both backends at each pending population.
     pub churn: Vec<ChurnSample>,
+    /// Storage-engine microbench samples.
+    pub storage: Vec<StorageSample>,
     /// Driver-level samples, both stores × both backends.
     pub driver: Vec<DriverSample>,
     /// Peak RSS at the end of measurement.
@@ -241,8 +414,8 @@ impl PerfReport {
         Some(cal / heap)
     }
 
-    /// The number the CI regression gate tracks: calendar-backend churn
-    /// events/sec at the largest measured pending population.
+    /// The first number the CI regression gate tracks: calendar-backend
+    /// churn events/sec at the largest measured pending population.
     pub fn gate_events_per_sec(&self) -> f64 {
         let max_pending = self.churn.iter().map(|s| s.pending).max().unwrap_or(0);
         self.churn
@@ -252,14 +425,26 @@ impl PerfReport {
             .unwrap_or(0.0)
     }
 
-    /// Serialize to the `BENCH_006.json` document (hand-rolled: the
+    /// The second gated number: whole-driver cstore ops/sec on the calendar
+    /// backend — the end-to-end figure the zero-copy storage path moves.
+    /// Cstore (quorum reads through the LSM on every replica) leans hardest
+    /// on the storage engine, so it is the sentinel store.
+    pub fn gate_ops_per_sec(&self) -> f64 {
+        self.driver
+            .iter()
+            .find(|d| d.store == StoreKind::CStore && d.backend == QueueKind::Calendar)
+            .map(DriverSample::ops_per_sec)
+            .unwrap_or(0.0)
+    }
+
+    /// Serialize to the `BENCH_009.json` document (hand-rolled: the
     /// workspace has no serde; see `obs::export` for the precedent).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(2048);
         s.push_str("{\n");
-        s.push_str("  \"bench_id\": \"BENCH_006\",\n");
+        s.push_str("  \"bench_id\": \"BENCH_009\",\n");
         s.push_str(
-            "  \"title\": \"Event-core speed: calendar queue vs binary heap, slab op contexts\",\n",
+            "  \"title\": \"Zero-copy storage hot path: streaming merge, shared runs, fast hashing\",\n",
         );
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
         s.push_str("  \"queue_churn\": [\n");
@@ -272,6 +457,18 @@ impl PerfReport {
                 c.wall.as_secs_f64(),
                 c.events_per_sec(),
                 if i + 1 < self.churn.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"storage\": [\n");
+        for (i, m) in self.storage.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ops\": {}, \"wall_secs\": {:.4}, \"ops_per_sec\": {:.1}}}{}\n",
+                m.name,
+                m.ops,
+                m.wall.as_secs_f64(),
+                m.ops_per_sec(),
+                if i + 1 < self.storage.len() { "," } else { "" },
             ));
         }
         s.push_str("  ],\n");
@@ -297,6 +494,10 @@ impl PerfReport {
         s.push_str(&format!(
             "  \"gate_events_per_sec\": {:.1},\n",
             self.gate_events_per_sec()
+        ));
+        s.push_str(&format!(
+            "  \"gate_ops_per_sec\": {:.1},\n",
+            self.gate_ops_per_sec()
         ));
         s.push_str(&format!("  \"peak_rss_bytes\": {}\n", self.peak_rss_bytes));
         s.push_str("}\n");
@@ -349,6 +550,11 @@ mod tests {
                     wall: Duration::from_millis(400),
                 },
             ],
+            storage: vec![StorageSample {
+                name: "lsm_get_hot",
+                ops: 1_000,
+                wall: Duration::from_millis(10),
+            }],
             driver: vec![],
             peak_rss_bytes: 123,
         };
@@ -359,6 +565,18 @@ mod tests {
         assert!(speedup.is_some_and(|s| (s - 4.0).abs() < 0.1));
         assert_eq!(extract_number(&json, "peak_rss_bytes"), Some(123.0));
         assert_eq!(extract_number(&json, "no_such_key"), None);
+        // Empty driver set: the ops/sec gate reads 0 rather than panicking.
+        assert_eq!(extract_number(&json, "gate_ops_per_sec"), Some(0.0));
+        assert!(json.contains("\"name\": \"lsm_get_hot\""));
+        assert!(json.contains("\"bench_id\": \"BENCH_009\""));
+    }
+
+    #[test]
+    fn storage_microbenches_run_and_count_ops() {
+        for s in storage_microbench(true) {
+            assert!(s.ops > 0, "{} did no work", s.name);
+            assert!(s.ops_per_sec() > 0.0, "{} measured nothing", s.name);
+        }
     }
 
     #[test]

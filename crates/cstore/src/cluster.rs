@@ -134,6 +134,10 @@ pub struct Cluster {
     next_coord: usize,
     pauses_started: bool,
     tracer: Tracer,
+    /// Reusable buffer for per-op replica placement: the coordinator paths
+    /// take it, fill it via [`Ring::replicas_into`], and put it back, so the
+    /// read/write hot paths never allocate a replica `Vec` per operation.
+    replica_scratch: Vec<NodeId>,
 }
 
 impl Cluster {
@@ -172,6 +176,7 @@ impl Cluster {
             next_coord: 0,
             pauses_started: false,
             tracer: Tracer::new(),
+            replica_scratch: Vec::new(),
         }
     }
 
@@ -670,7 +675,8 @@ impl Cluster {
         self.metrics.writes += 1;
         let rf = self.config.replication_factor;
         let write_cl = self.config.write_cl;
-        let replicas = self.ring.replicas(&key, rf);
+        let mut replicas = std::mem::take(&mut self.replica_scratch);
+        self.ring.replicas_into(&key, rf, &mut replicas);
         // Quota denominators come from the *configured* replica set (live
         // or not), as in Cassandra's blockFor computation.
         let (needed, rule) = if write_cl.dc_aware() && self.multi_dc() {
@@ -708,25 +714,38 @@ impl Cluster {
         } else {
             (write_cl.required(rf), AckRule::Count)
         };
-        let (live, dead): (Vec<NodeId>, Vec<NodeId>) =
-            replicas.into_iter().partition(|&r| self.is_up(r));
+        // Live/dead replicas are walked in place (ring order) rather than
+        // partitioned into per-op vectors.
+        let live_count = replicas.iter().filter(|&&r| self.is_up(r)).count() as u32;
         let available = match &rule {
-            AckRule::Count => live.len() as u32 >= needed,
+            AckRule::Count => live_count >= needed,
             AckRule::LocalDc { dc, .. } => {
-                live.iter().filter(|&&r| self.region_of(r) == *dc).count() as u32 >= needed
+                replicas
+                    .iter()
+                    .filter(|&&r| self.is_up(r) && self.region_of(r) == *dc)
+                    .count() as u32
+                    >= needed
             }
-            AckRule::PerDc(quotas) => quotas
-                .iter()
-                .all(|q| live.iter().filter(|&&r| self.region_of(r) == q.0).count() as u32 >= q.1),
+            AckRule::PerDc(quotas) => quotas.iter().all(|q| {
+                replicas
+                    .iter()
+                    .filter(|&&r| self.is_up(r) && self.region_of(r) == q.0)
+                    .count() as u32
+                    >= q.1
+            }),
         };
         if !available {
+            self.replica_scratch = replicas;
             self.metrics.unavailable += 1;
             self.pending.remove(op);
             self.respond(sim, token, coord, t1, OpResult::Error(OpError::Unavailable));
             return;
         }
         if self.config.hinted_handoff {
-            for target in dead {
+            for &target in &replicas {
+                if self.is_up(target) {
+                    continue;
+                }
                 self.metrics.hints_stored += 1;
                 self.nodes[coord.index()].hints.push(Hint {
                     target,
@@ -736,9 +755,12 @@ impl Cluster {
             }
         }
         let bytes = self.config.costs.msg_overhead_bytes + entry_encoded_len(&key, &cell);
-        let expected = live.len() as u32;
+        let expected = live_count;
         let ts = cell.ts;
-        for r in live {
+        for &r in &replicas {
+            if !self.is_up(r) {
+                continue;
+            }
             let arr = self.net_to(coord, r, bytes, t1);
             let stage = self.hop_stage(coord, r);
             self.tracer.record(token, stage, r.0, t1, arr);
@@ -754,6 +776,7 @@ impl Cluster {
                 }),
             );
         }
+        self.replica_scratch = replicas;
         if let Some(p) = self.pending.get_mut(op) {
             p.state = PendingState::Write(WriteState {
                 needed,
@@ -779,21 +802,22 @@ impl Cluster {
         self.metrics.reads += 1;
         let rf = self.config.replication_factor;
         let read_cl = self.config.read_cl;
-        let replicas = self.ring.replicas(&key, rf);
+        let mut replicas = std::mem::take(&mut self.replica_scratch);
         // Ring order starting at the main replica — the paper's "fixed
         // order" replica selection.
-        let live: Vec<NodeId> = replicas
-            .iter()
-            .copied()
-            .filter(|&r| self.is_up(r))
-            .collect();
-        // The quota and the replicas selected to answer it. For the
-        // datacenter-aware levels the quota replicas are chosen per DC
-        // (LOCAL_QUORUM: coordinator's DC only, so no WAN hop sits on the
-        // settle path; EACH_QUORUM: a quorum from every DC, so the settle
-        // path waits on the slowest DC), still in ring order within a DC.
-        let (needed, quota_targets): (u32, Vec<NodeId>) = if read_cl.dc_aware() && self.multi_dc() {
-            match read_cl {
+        self.ring.replicas_into(&key, rf, &mut replicas);
+        if read_cl.dc_aware() && self.multi_dc() {
+            // Datacenter-aware levels: the quota replicas are chosen per DC
+            // (LOCAL_QUORUM: coordinator's DC only, so no WAN hop sits on
+            // the settle path; EACH_QUORUM: a quorum from every DC, so the
+            // settle path waits on the slowest DC), still in ring order
+            // within a DC.
+            let live: Vec<NodeId> = replicas
+                .iter()
+                .copied()
+                .filter(|&r| self.is_up(r))
+                .collect();
+            let (needed, quota_targets): (u32, Vec<NodeId>) = match read_cl {
                 Consistency::LocalQuorum => {
                     let dc = self.region_of(coord);
                     let local_total = replicas
@@ -838,25 +862,76 @@ impl Cluster {
                     }
                     (needed, targets)
                 }
+            };
+            self.replica_scratch = replicas;
+            if (quota_targets.len() as u32) < needed {
+                self.metrics.unavailable += 1;
+                self.pending.remove(op);
+                self.respond(sim, token, coord, t1, OpResult::Error(OpError::Unavailable));
+                return;
             }
-        } else {
-            let n = read_cl.required(rf);
-            (n, live.iter().copied().take(n as usize).collect())
-        };
-        if (quota_targets.len() as u32) < needed {
+            let fanout =
+                live.len() as u32 > needed && sim.rng().chance(self.config.read_repair_chance);
+            if fanout {
+                self.metrics.repair_fanouts += 1;
+            }
+            let targets: Vec<NodeId> = if fanout { live } else { quota_targets };
+            let bytes = self.config.costs.msg_overhead_bytes + key.len() as u64;
+            let expected = targets.len() as u32;
+            for r in targets {
+                let arr = self.net_to(coord, r, bytes, t1);
+                let stage = self.hop_stage(coord, r);
+                self.tracer.record(token, stage, r.0, t1, arr);
+                sim.schedule_at(
+                    arr,
+                    W::from(Event::ReplicaRead {
+                        op,
+                        token,
+                        node: r,
+                        key: key.clone(),
+                    }),
+                );
+            }
+            if let Some(p) = self.pending.get_mut(op) {
+                p.state = PendingState::Read(ReadState {
+                    key,
+                    needed,
+                    expected,
+                    responded: false,
+                    fanout,
+                    results: Vec::with_capacity(expected as usize),
+                    fanout_at: t1,
+                });
+            }
+            return;
+        }
+        // Single-DC fast path: the quota targets are simply the first
+        // `needed` live replicas in ring order, so count and walk the
+        // replica set in place instead of materialising target vectors.
+        let needed = read_cl.required(rf);
+        let live_count = replicas.iter().filter(|&&r| self.is_up(r)).count() as u32;
+        if live_count < needed {
+            self.replica_scratch = replicas;
             self.metrics.unavailable += 1;
             self.pending.remove(op);
             self.respond(sim, token, coord, t1, OpResult::Error(OpError::Unavailable));
             return;
         }
-        let fanout = live.len() as u32 > needed && sim.rng().chance(self.config.read_repair_chance);
+        let fanout = live_count > needed && sim.rng().chance(self.config.read_repair_chance);
         if fanout {
             self.metrics.repair_fanouts += 1;
         }
-        let targets: Vec<NodeId> = if fanout { live } else { quota_targets };
+        let expected = if fanout { live_count } else { needed };
         let bytes = self.config.costs.msg_overhead_bytes + key.len() as u64;
-        let expected = targets.len() as u32;
-        for r in targets {
+        let mut sent = 0u32;
+        for &r in &replicas {
+            if sent == expected {
+                break;
+            }
+            if !self.is_up(r) {
+                continue;
+            }
+            sent += 1;
             let arr = self.net_to(coord, r, bytes, t1);
             let stage = self.hop_stage(coord, r);
             self.tracer.record(token, stage, r.0, t1, arr);
@@ -870,6 +945,7 @@ impl Cluster {
                 }),
             );
         }
+        self.replica_scratch = replicas;
         if let Some(p) = self.pending.get_mut(op) {
             p.state = PendingState::Read(ReadState {
                 key,

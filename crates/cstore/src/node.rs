@@ -49,7 +49,7 @@ impl CNode {
     /// compaction paths directly.
     pub fn charge_io_plan(&mut self, start: SimTime, plan: &IoPlan) -> SimTime {
         let mut t = start;
-        for op in plan.ops() {
+        for op in plan.iter() {
             match *op {
                 IoOp::DiskRead { bytes } => t = self.hw.disk.random_read(t, bytes),
                 IoOp::DiskSeqRead { bytes } => t = self.hw.disk.seq_read(t, bytes),

@@ -174,6 +174,15 @@ impl Ring {
         self.strategy.place(p, self.nodes, rf, &self.snitch)
     }
 
+    /// [`Ring::replicas`] into a caller-provided buffer (cleared first); the
+    /// per-op coordinator paths reuse one scratch buffer instead of
+    /// allocating a fresh replica set each operation.
+    pub fn replicas_into(&self, key: &[u8], rf: u32, out: &mut Vec<NodeId>) {
+        let p = self.primary(key);
+        self.strategy
+            .place_into(p, self.nodes, rf, &self.snitch, out);
+    }
+
     /// Ring successor of a node index.
     pub fn successor(&self, idx: usize) -> usize {
         (idx + 1) % self.nodes

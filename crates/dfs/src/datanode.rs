@@ -1,6 +1,6 @@
 //! Datanodes: per-machine block replica storage.
 
-use std::collections::HashMap;
+use simkit::FastHashMap;
 
 use bytes::Bytes;
 use simkit::NodeId;
@@ -22,7 +22,7 @@ pub struct StoredBlock {
 #[derive(Debug, Clone)]
 pub struct DataNode {
     node: NodeId,
-    blocks: HashMap<BlockId, StoredBlock>,
+    blocks: FastHashMap<BlockId, StoredBlock>,
     used_bytes: u64,
     up: bool,
 }
@@ -32,7 +32,7 @@ impl DataNode {
     pub fn new(node: NodeId) -> Self {
         Self {
             node,
-            blocks: HashMap::new(),
+            blocks: FastHashMap::default(),
             used_bytes: 0,
             up: true,
         }

@@ -1,6 +1,6 @@
 //! The namenode: authoritative file → block → replica-location metadata.
 
-use std::collections::HashMap;
+use simkit::FastHashMap;
 
 use simkit::NodeId;
 
@@ -42,8 +42,8 @@ pub struct FileMeta {
 /// The metadata server.
 #[derive(Debug, Clone, Default)]
 pub struct NameNode {
-    files: HashMap<FileId, FileMeta>,
-    blocks: HashMap<BlockId, BlockMeta>,
+    files: FastHashMap<FileId, FileMeta>,
+    blocks: FastHashMap<BlockId, BlockMeta>,
     next_file: u64,
     next_block: u64,
 }

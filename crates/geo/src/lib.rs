@@ -227,14 +227,35 @@ impl Strategy {
     /// `Simple` takes the first `rf`, `NetworkTopology` takes nodes whose
     /// datacenter quota (per `snitch`) is still unfilled.
     pub fn place(&self, primary: usize, nodes: usize, rf: u32, snitch: &Snitch) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.place_into(primary, nodes, rf, snitch, &mut out);
+        out
+    }
+
+    /// [`Strategy::place`] writing into a caller-provided buffer (cleared
+    /// first). Placement runs once per client operation, so the hot store
+    /// models keep one scratch buffer per cluster instead of allocating a
+    /// replica `Vec` per op.
+    pub fn place_into(
+        &self,
+        primary: usize,
+        nodes: usize,
+        rf: u32,
+        snitch: &Snitch,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
         match self {
-            Strategy::Simple => (0..rf.min(nodes as u32) as usize)
-                .map(|i| NodeId(((primary + i) % nodes) as u32))
-                .collect(),
+            Strategy::Simple => {
+                out.extend(
+                    (0..rf.min(nodes as u32) as usize)
+                        .map(|i| NodeId(((primary + i) % nodes) as u32)),
+                );
+            }
             Strategy::NetworkTopology { per_dc } => {
                 let mut remaining: Vec<u32> = per_dc.clone();
                 let total: u32 = remaining.iter().sum();
-                let mut out = Vec::with_capacity(total as usize);
+                out.reserve(total as usize);
                 for i in 0..nodes {
                     let node = NodeId(((primary + i) % nodes) as u32);
                     let dc = snitch.region(node) as usize;
@@ -246,7 +267,6 @@ impl Strategy {
                         }
                     }
                 }
-                out
             }
         }
     }

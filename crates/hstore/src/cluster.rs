@@ -636,7 +636,7 @@ impl Cluster {
             (res.cell, res.io)
         };
         let mut t = t1;
-        for io in plan.ops() {
+        for io in plan.iter() {
             match *io {
                 storage::IoOp::DiskRead { bytes } => {
                     t = match remote {
@@ -936,7 +936,7 @@ impl Cluster {
             (res.rows, res.io)
         };
         let mut t = t1;
-        for io in plan.ops() {
+        for io in plan.iter() {
             match *io {
                 storage::IoOp::DiskRead { bytes } => {
                     t = self.servers[server.index()].disk.random_read(t, bytes);

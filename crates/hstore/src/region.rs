@@ -1,6 +1,6 @@
 //! Regions: contiguous key ranges with their storage engines.
 
-use std::collections::HashMap;
+use simkit::FastHashMap;
 
 use dfs::FileId;
 use simkit::NodeId;
@@ -18,7 +18,7 @@ pub struct Region {
     /// The region's storage engine (memstore + HFiles + cache slice).
     pub lsm: LsmTree,
     /// HFile SSTables mapped to their backing `dfs` files.
-    pub hfiles: HashMap<TableId, FileId>,
+    pub hfiles: FastHashMap<TableId, FileId>,
 }
 
 impl Region {
@@ -63,7 +63,7 @@ impl RegionMap {
                 end,
                 server: NodeId((i % servers) as u32),
                 lsm: LsmTree::new(lsm),
-                hfiles: HashMap::new(),
+                hfiles: FastHashMap::default(),
             })
             .collect();
         Self { regions }

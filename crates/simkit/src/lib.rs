@@ -29,6 +29,10 @@
 //! * [`topology`] — cluster/rack layout and inter-node latency.
 //! * [`rng`] — a seedable, platform-stable xoshiro256** RNG implementing
 //!   `rand::RngCore`, so every experiment is reproducible bit-for-bit.
+//! * [`hash`] — a seeded deterministic FxHash-style hasher
+//!   ([`FastHashMap`]) replacing SipHash on hot lookup maps (block cache,
+//!   staleness watermarks, file indexes) where iteration order is
+//!   unobservable and adversarial keys cannot occur.
 //! * [`admission`] — the pure admission-control decision kernel
 //!   ([`AdmissionConfig`]/[`OpTag`]) both store analogs consult at their
 //!   front door for bounded queues and load shedding.
@@ -41,6 +45,7 @@
 
 pub mod admission;
 pub mod hardware;
+pub mod hash;
 pub mod queue;
 pub mod resource;
 pub mod rng;
@@ -51,6 +56,7 @@ pub mod topology;
 
 pub use admission::{AdmissionConfig, AdmissionPolicy, OpTag};
 pub use hardware::{Disk, DiskProfile, Nic, NicProfile, NodeHw, NodeProfile};
+pub use hash::{FastBuildHasher, FastHashMap, FastHashSet, FastHasher};
 pub use queue::{EventQueue, QueueKind};
 pub use resource::{FifoResource, MultiServer};
 pub use rng::SimRng;

@@ -238,6 +238,13 @@ impl<E> CalendarQueue<E> {
         self.wheel_len = 0;
         self.cursor_sorted = false;
         let end = self.window_end();
+        // Narrowing can spill most of the wheel into the overflow lane in
+        // one burst; reserving the exact count avoids the BinaryHeap's
+        // doubling transient (old + new buffer live at once) while `scratch`
+        // still holds every entry — that coincidence is what sets the
+        // process RSS high-water mark at large pending populations.
+        let spill = scratch.iter().filter(|e| e.time >= end).count();
+        self.overflow.reserve(spill);
         for e in scratch {
             if e.time >= end {
                 // Narrowing shrank the window below this event; it waits

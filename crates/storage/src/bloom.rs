@@ -13,6 +13,19 @@ pub struct BloomFilter {
     k: u32,
 }
 
+/// The two Kirsch–Mitzenmacher base hashes of `key`, independent of any
+/// particular filter's size. A point read that consults many runs computes
+/// this once and probes every filter with
+/// [`BloomFilter::may_contain_hashed`]; the probe *positions* (and therefore
+/// every filter's bit pattern and false-positive set) are byte-identical to
+/// hashing per filter.
+#[inline]
+pub fn hash_pair(key: &[u8]) -> (u64, u64) {
+    let h1 = hash64(key, 0x51ed);
+    let h2 = hash64(key, 0xc0de) | 1; // odd => full-period stepping
+    (h1, h2)
+}
+
 #[inline]
 fn hash64(data: &[u8], seed: u64) -> u64 {
     // FNV-1a with a seeded basis, finalized with a splitmix-style mixer to
@@ -42,24 +55,34 @@ impl BloomFilter {
     }
 
     #[inline]
-    fn positions(&self, key: &[u8]) -> impl Iterator<Item = u64> + '_ {
-        let h1 = hash64(key, 0x51ed);
-        let h2 = hash64(key, 0xc0de) | 1; // odd => full-period stepping
+    fn positions(&self, (h1, h2): (u64, u64)) -> impl Iterator<Item = u64> + '_ {
         let nbits = self.nbits;
         (0..self.k as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % nbits)
     }
 
     /// Record a key.
     pub fn insert(&mut self, key: &[u8]) {
-        let positions: Vec<u64> = self.positions(key).collect();
-        for pos in positions {
+        // Open-coded positions: borrowing `self` for the position iterator
+        // while mutating `bits` would not check, and the old collect-to-Vec
+        // workaround cost an allocation per inserted key (hot during every
+        // flush and compaction).
+        let (h1, h2) = hash_pair(key);
+        for i in 0..self.k as u64 {
+            let pos = h1.wrapping_add(i.wrapping_mul(h2)) % self.nbits;
             self.bits[(pos / 64) as usize] |= 1 << (pos % 64);
         }
     }
 
     /// True if the key *might* be present; false means definitely absent.
     pub fn may_contain(&self, key: &[u8]) -> bool {
-        self.positions(key)
+        self.may_contain_hashed(hash_pair(key))
+    }
+
+    /// [`BloomFilter::may_contain`] with the key's [`hash_pair`] precomputed
+    /// by the caller — the form the LSM read path uses so one key hashed
+    /// once can probe every run's filter.
+    pub fn may_contain_hashed(&self, hashes: (u64, u64)) -> bool {
+        self.positions(hashes)
             .all(|pos| self.bits[(pos / 64) as usize] & (1 << (pos % 64)) != 0)
     }
 
@@ -100,6 +123,21 @@ mod tests {
             .count();
         let rate = fps as f64 / 10_000.0;
         assert!(rate < 0.03, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn hashed_probe_matches_keyed_probe() {
+        let mut f = BloomFilter::with_capacity(1000, 10);
+        for i in 0..1000 {
+            f.insert(format!("user{i}").as_bytes());
+        }
+        for i in 0..2000 {
+            let key = format!("user{i}");
+            assert_eq!(
+                f.may_contain(key.as_bytes()),
+                f.may_contain_hashed(hash_pair(key.as_bytes()))
+            );
+        }
     }
 
     #[test]

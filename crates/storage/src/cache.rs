@@ -6,7 +6,7 @@
 //! *the* determinant of latency on the paper's HDD testbed, so this is a real
 //! cache, not a hit-rate dial.
 
-use std::collections::HashMap;
+use simkit::FastHashMap;
 
 use crate::sstable::TableId;
 
@@ -55,7 +55,9 @@ impl CacheStats {
 /// A byte-bounded LRU cache of SSTable blocks.
 #[derive(Debug, Clone)]
 pub struct BlockCache {
-    map: HashMap<BlockKey, u32>,
+    // Seeded fast-hash map: block keys are two small integers looked up on
+    // every cached read, where SipHash was pure overhead.
+    map: FastHashMap<BlockKey, u32>,
     slab: Vec<Node>,
     free: Vec<u32>,
     head: u32, // most recently used
@@ -69,7 +71,7 @@ impl BlockCache {
     /// Create a cache bounded at `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
         Self {
-            map: HashMap::new(),
+            map: FastHashMap::default(),
             slab: Vec::new(),
             free: Vec::new(),
             head: NIL,

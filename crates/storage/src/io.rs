@@ -7,9 +7,11 @@
 //! plans directly assertable in tests.
 
 /// One unit of I/O performed by a storage operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IoOp {
-    /// Served from the memtable; no device access.
+    /// Served from the memtable; no device access. Also the default — the
+    /// zero-cost filler for [`IoPlan`]'s unused inline slots.
+    #[default]
     MemtableHit,
     /// Served from the block cache; no device access.
     CacheHit {
@@ -36,11 +38,31 @@ pub enum IoOp {
     BloomSkip,
 }
 
+/// Ops recorded inline before spilling to the heap. A point read touches at
+/// most one op per run plus the memtable, and steady-state run counts sit
+/// below the size-tiered `min_threshold` bucket width, so plans of hot
+/// operations never allocate.
+const INLINE_OPS: usize = 12;
+
 /// An ordered record of the I/O a storage operation performed.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Storage is on the per-event hot path of both cluster models and a plan is
+/// built for *every* replica read, so the op list is a small inline buffer
+/// that spills to a `Vec` only for long scans and compactions — the common
+/// point read records its ops without touching the allocator.
+#[derive(Debug, Clone, Default)]
 pub struct IoPlan {
-    ops: Vec<IoOp>,
+    inline: [IoOp; INLINE_OPS],
+    len: usize,
+    spill: Vec<IoOp>,
 }
+
+impl PartialEq for IoPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+impl Eq for IoPlan {}
 
 impl IoPlan {
     /// An empty plan.
@@ -50,31 +72,48 @@ impl IoPlan {
 
     /// Append one I/O op.
     pub fn push(&mut self, op: IoOp) {
-        self.ops.push(op);
+        if self.len < INLINE_OPS {
+            self.inline[self.len] = op;
+        } else {
+            self.spill.push(op);
+        }
+        self.len += 1;
     }
 
     /// Append all ops from another plan.
     pub fn extend(&mut self, other: IoPlan) {
-        self.ops.extend(other.ops);
+        for op in other.iter() {
+            self.push(*op);
+        }
+    }
+
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 
     /// The recorded ops in execution order.
-    pub fn ops(&self) -> &[IoOp] {
-        &self.ops
+    pub fn iter(&self) -> impl Iterator<Item = &IoOp> {
+        self.inline[..self.len.min(INLINE_OPS)]
+            .iter()
+            .chain(self.spill.iter())
     }
 
     /// Number of random disk reads (each pays a positioning cost).
     pub fn random_reads(&self) -> u32 {
-        self.ops
-            .iter()
+        self.iter()
             .filter(|o| matches!(o, IoOp::DiskRead { .. }))
             .count() as u32
     }
 
     /// Total bytes that must come off the disk (random + sequential reads).
     pub fn disk_read_bytes(&self) -> u64 {
-        self.ops
-            .iter()
+        self.iter()
             .map(|o| match o {
                 IoOp::DiskRead { bytes } | IoOp::DiskSeqRead { bytes } => *bytes,
                 _ => 0,
@@ -84,8 +123,7 @@ impl IoPlan {
 
     /// Total bytes written to disk.
     pub fn disk_write_bytes(&self) -> u64 {
-        self.ops
-            .iter()
+        self.iter()
             .map(|o| match o {
                 IoOp::DiskSeqWrite { bytes } => *bytes,
                 _ => 0,
@@ -95,8 +133,7 @@ impl IoPlan {
 
     /// Bytes served from the block cache.
     pub fn cache_hit_bytes(&self) -> u64 {
-        self.ops
-            .iter()
+        self.iter()
             .map(|o| match o {
                 IoOp::CacheHit { bytes } => *bytes,
                 _ => 0,
@@ -106,10 +143,7 @@ impl IoPlan {
 
     /// Count of bloom-filter skips.
     pub fn bloom_skips(&self) -> u32 {
-        self.ops
-            .iter()
-            .filter(|o| matches!(o, IoOp::BloomSkip))
-            .count() as u32
+        self.iter().filter(|o| matches!(o, IoOp::BloomSkip)).count() as u32
     }
 
     /// True when the operation never left memory.
@@ -154,6 +188,31 @@ mod tests {
         let mut b = IoPlan::new();
         b.push(IoOp::BloomSkip);
         a.extend(b);
-        assert_eq!(a.ops(), &[IoOp::MemtableHit, IoOp::BloomSkip]);
+        let ops: Vec<IoOp> = a.iter().copied().collect();
+        assert_eq!(ops, vec![IoOp::MemtableHit, IoOp::BloomSkip]);
+    }
+
+    #[test]
+    fn spills_past_inline_capacity() {
+        let mut p = IoPlan::new();
+        for i in 0..40u64 {
+            p.push(IoOp::DiskSeqRead { bytes: i });
+        }
+        assert_eq!(p.len(), 40);
+        let ops: Vec<IoOp> = p.iter().copied().collect();
+        assert_eq!(ops.len(), 40);
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(*op, IoOp::DiskSeqRead { bytes: i as u64 });
+        }
+        assert_eq!(p.disk_read_bytes(), (0..40).sum::<u64>());
+
+        // Equality compares logical op sequences, not representation.
+        let mut q = IoPlan::new();
+        for i in 0..40u64 {
+            q.push(IoOp::DiskSeqRead { bytes: i });
+        }
+        assert_eq!(p, q);
+        q.push(IoOp::BloomSkip);
+        assert_ne!(p, q);
     }
 }

@@ -4,11 +4,12 @@
 //! One `LsmTree` is the storage engine of one replica on one node (a region
 //! in `hstore`, a node's keyspace shard set in `cstore`).
 
+use crate::bloom;
 use crate::cache::{BlockCache, BlockKey, CacheStats};
 use crate::compaction::SizeTieredPolicy;
 use crate::io::{IoOp, IoPlan};
 use crate::memtable::Memtable;
-use crate::merge::merge_entries;
+use crate::merge::{merge_runs, MergeRef};
 use crate::sstable::{SsTable, TableId};
 use crate::types::{Cell, Key};
 use crate::wal::WriteAheadLog;
@@ -88,6 +89,25 @@ pub struct CompactionReceipt {
     pub write_bytes: u64,
 }
 
+/// One merge source of a range scan: the memtable's B-tree range or an
+/// SSTable run's entry slice, unified so the streaming merge can hold all
+/// sources in one unboxed `Vec`.
+enum ScanSource<'a> {
+    Mem(std::collections::btree_map::Range<'a, Key, Cell>),
+    Run(std::slice::Iter<'a, (Key, Cell)>),
+}
+
+impl<'a> Iterator for ScanSource<'a> {
+    type Item = (&'a Key, &'a Cell);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            ScanSource::Mem(it) => it.next(),
+            ScanSource::Run(it) => it.next().map(|(key, cell)| (key, cell)),
+        }
+    }
+}
+
 /// A single replica's LSM storage engine.
 #[derive(Debug, Clone)]
 pub struct LsmTree {
@@ -96,6 +116,9 @@ pub struct LsmTree {
     memtable: Memtable,
     /// Oldest first; reads reconcile across all runs.
     tables: Vec<SsTable>,
+    /// `(id, total_bytes)` mirror of `tables`, maintained on flush and
+    /// compaction so policy checks don't rebuild a `Vec` per call.
+    sizes: Vec<(TableId, u64)>,
     cache: BlockCache,
     next_table_id: u64,
 }
@@ -108,6 +131,7 @@ impl LsmTree {
             wal: WriteAheadLog::new(),
             memtable: Memtable::new(),
             tables: Vec::new(),
+            sizes: Vec::new(),
             cache: BlockCache::new(config.cache_bytes),
             next_table_id: 1,
         }
@@ -118,9 +142,11 @@ impl LsmTree {
         &self.config
     }
 
-    /// Apply a write: WAL append then memtable insert.
+    /// Apply a write: WAL append then memtable insert. The WAL copy of the
+    /// payload is a refcount bump; the caller's key/cell move straight into
+    /// the memtable.
     pub fn put(&mut self, key: Key, cell: Cell) -> WriteReceipt {
-        let (_seq, wal_bytes) = self.wal.append(key.clone(), cell.clone());
+        let (_seq, wal_bytes) = self.wal.append(&key, &cell);
         self.memtable.insert(key, cell);
         WriteReceipt {
             wal_bytes,
@@ -129,41 +155,68 @@ impl LsmTree {
     }
 
     /// Point read reconciling memtable and every run the bloom filters admit.
+    ///
+    /// Zero-copy until the very end: candidates stay borrowed out of the
+    /// memtable and runs, last-write-wins folds by reference via
+    /// [`Cell::newer`], and only the final winner is cloned (a refcount
+    /// bump). The key is bloom-hashed once for all runs, and every run
+    /// records into one shared inline [`IoPlan`].
     pub fn get(&mut self, key: &[u8]) -> ReadResult {
+        let Self {
+            cache,
+            tables,
+            memtable,
+            ..
+        } = self;
         let mut io = IoPlan::new();
-        let mut newest: Option<Cell> = None;
-        if let Some(cell) = self.memtable.get(key) {
+        let mut newest: Option<&Cell> = None;
+        if let Some(cell) = memtable.get(key) {
             io.push(IoOp::MemtableHit);
-            newest = Some(cell.clone());
+            newest = Some(cell);
         }
+        let hashes = bloom::hash_pair(key);
         // Check every run; last-write-wins decides, so order is irrelevant.
-        for t in 0..self.tables.len() {
-            let (found, table_io) = Self::get_from_table(&mut self.cache, &self.tables[t], key);
-            io.extend(table_io);
-            if let Some(cell) = found {
+        for table in tables.iter() {
+            if let Some(cell) = Self::get_from_table(cache, table, key, hashes, &mut io) {
                 newest = Some(match newest {
-                    Some(prev) => Cell::reconcile(prev, cell),
+                    Some(prev) => Cell::newer(prev, cell),
                     None => cell,
                 });
             }
         }
-        ReadResult { cell: newest, io }
+        ReadResult {
+            cell: newest.cloned(),
+            io,
+        }
     }
 
-    fn get_from_table(
+    fn get_from_table<'t>(
         cache: &mut BlockCache,
-        table: &SsTable,
+        table: &'t SsTable,
         key: &[u8],
-    ) -> (Option<Cell>, IoPlan) {
-        let mut io = IoPlan::new();
-        if !table.may_contain(key) {
-            io.push(IoOp::BloomSkip);
-            return (None, io);
-        }
+        hashes: (u64, u64),
+        io: &mut IoPlan,
+    ) -> Option<&'t Cell> {
+        // Search first, bloom only on a miss. A present key always passes
+        // the bloom filter, so probing it up front spends k scattered bit
+        // reads to learn nothing on the common read-mostly path; the index
+        // and block searches run over the table's flat prefix arrays. The
+        // observable effects — io plan, cache state, returned cell — are
+        // identical to bloom-first order: the simulated block read happens
+        // exactly when the bloom filter would have admitted the key.
         let Some(block) = table.block_for(key) else {
+            // Key sorts before the table: bloom-first order also ends in a
+            // skip here, whatever the filter says.
             io.push(IoOp::BloomSkip);
-            return (None, io);
+            return None;
         };
+        let hit = table.get_in_block(block, key);
+        if hit.is_none() && !table.may_contain_hashed(hashes) {
+            io.push(IoOp::BloomSkip);
+            return None;
+        }
+        // Present key, or an absent one the filter false-positives on:
+        // either way the block is (simulated-)read and charged.
         let bkey = BlockKey {
             table: table.id(),
             block: block as u32,
@@ -175,47 +228,48 @@ impl LsmTree {
             io.push(IoOp::DiskRead { bytes });
             cache.insert(bkey, bytes);
         }
-        (table.get_in_block(block, key).cloned(), io)
+        hit
     }
 
     /// Range scan: merge memtable and all runs from `start`, return up to
     /// `limit` live rows (tombstoned rows are skipped but still cost I/O).
     pub fn scan(&mut self, start: &[u8], limit: usize) -> ScanResult {
-        let mut io = IoPlan::new();
-        // Functional pass: merge all sources. Each source only needs its
-        // first `limit` entries ≥ start: the k-th smallest key of the union
-        // is no larger than the k-th smallest key of any single source, so a
-        // per-source prefix of `limit` covers the first `limit` merged keys.
-        // (A small slack absorbs tombstoned rows, which are consumed but not
-        // returned; workloads that mass-delete may see short scans.)
+        // Streaming pass: k-way merge over borrowed entries; nothing is
+        // collected per source and only returned rows are cloned (refcount
+        // bumps). Each source only needs its first `limit` entries ≥ start:
+        // the k-th smallest key of the union is no larger than the k-th
+        // smallest key of any single source, so a per-source prefix of
+        // `limit` covers the first `limit` merged keys. (A small slack
+        // absorbs tombstoned rows, which are consumed but not returned;
+        // workloads that mass-delete may see short scans.)
         let take = limit.saturating_add(16);
-        let mem: Vec<(Key, Cell)> = self
-            .memtable
-            .range_from(start)
-            .take(take)
-            .map(|(k, c)| (k.clone(), c.clone()))
-            .collect();
-        let mut sources = vec![mem];
-        for t in &self.tables {
-            sources.push(t.entries_from(start).take(take).cloned().collect());
+        let Self {
+            cache,
+            tables,
+            memtable,
+            ..
+        } = self;
+        let mut sources = Vec::with_capacity(1 + tables.len());
+        sources.push(ScanSource::Mem(memtable.range_from(start)).take(take));
+        for t in tables.iter() {
+            sources.push(ScanSource::Run(t.entries_from(start)).take(take));
         }
-        let merged = merge_entries(sources, false);
         let mut rows = Vec::with_capacity(limit);
-        let mut last_key: Option<Key> = None;
-        for (key, cell) in merged {
+        let mut last_key: Option<&Key> = None;
+        for (key, cell) in MergeRef::new(sources) {
             if rows.len() >= limit {
                 break;
             }
-            last_key = Some(key.clone());
+            last_key = Some(key);
             if !cell.is_tombstone() {
-                rows.push((key, cell));
+                rows.push((key.clone(), cell.clone()));
             }
         }
         // I/O pass: every block in [start, last_key] of every run was read.
-        if let Some(end) = &last_key {
-            for t in 0..self.tables.len() {
-                let plan = Self::scan_io_for_table(&mut self.cache, &self.tables[t], start, end);
-                io.extend(plan);
+        let mut io = IoPlan::new();
+        if let Some(end) = last_key {
+            for t in tables.iter() {
+                Self::scan_io_for_table(cache, t, start, end, &mut io);
             }
         }
         ScanResult { rows, io }
@@ -226,26 +280,26 @@ impl LsmTree {
         table: &SsTable,
         start: &[u8],
         end: &Key,
-    ) -> IoPlan {
-        let mut io = IoPlan::new();
+        io: &mut IoPlan,
+    ) {
         if table.is_empty() {
-            return io;
+            return;
         }
         let lo = table.lower_bound(start);
         if lo >= table.len() {
-            return io;
+            return;
         }
         // Index of the last entry <= end.
         let hi = table.lower_bound(end.as_ref());
         let hi_idx = if hi < table.len() && table.entries()[hi].0 == *end {
             hi
         } else if hi == 0 {
-            return io; // whole range sorts before this table
+            return; // whole range sorts before this table
         } else {
             hi - 1
         };
         if hi_idx < lo {
-            return io;
+            return;
         }
         let first_block = table.block_of_entry(lo);
         let last_block = table.block_of_entry(hi_idx);
@@ -266,11 +320,11 @@ impl LsmTree {
                 cache.insert(bkey, bytes);
             }
         }
-        io
     }
 
     /// Flush the memtable into a new SSTable. Returns `None` when there is
-    /// nothing to flush.
+    /// nothing to flush. The memtable's entries move into the new run —
+    /// frozen in place, never copied.
     pub fn flush(&mut self) -> Option<FlushReceipt> {
         if self.memtable.is_empty() {
             return None;
@@ -282,8 +336,9 @@ impl LsmTree {
         let table = SsTable::build(id, entries, self.config.block_size);
         let bytes = table.total_bytes();
         self.tables.push(table);
+        self.sizes.push((id, bytes));
         self.wal.truncate_through(watermark);
-        let compaction_due = self.config.compaction.pick(&self.table_sizes()).is_some();
+        let compaction_due = self.config.compaction.pick(&self.sizes).is_some();
         Some(FlushReceipt {
             table: id,
             bytes,
@@ -291,16 +346,15 @@ impl LsmTree {
         })
     }
 
-    fn table_sizes(&self) -> Vec<(TableId, u64)> {
-        self.tables
-            .iter()
-            .map(|t| (t.id(), t.total_bytes()))
-            .collect()
+    fn rebuild_sizes(&mut self) {
+        self.sizes.clear();
+        self.sizes
+            .extend(self.tables.iter().map(|t| (t.id(), t.total_bytes())));
     }
 
     /// Run one compaction if the policy finds a ripe bucket.
     pub fn maybe_compact(&mut self) -> Option<CompactionReceipt> {
-        let inputs = self.config.compaction.pick(&self.table_sizes())?;
+        let inputs = self.config.compaction.pick(&self.sizes)?;
         let major = inputs.len() == self.tables.len();
         let mut consumed = Vec::new();
         let mut read_bytes = 0;
@@ -313,11 +367,14 @@ impl LsmTree {
                 kept.push(table);
             }
         }
-        let sources: Vec<Vec<(Key, Cell)>> =
-            consumed.iter().map(|t| t.entries().to_vec()).collect();
-        // Tombstones can only be dropped when no older run might still hold
-        // a shadowed value.
-        let merged = merge_entries(sources, major);
+        // Streaming merge straight over the consumed runs' entry slices;
+        // only surviving winners are cloned (refcount bumps). Tombstones can
+        // only be dropped when no older run might still hold a shadowed
+        // value.
+        let merged = {
+            let runs: Vec<&[(Key, Cell)]> = consumed.iter().map(|t| t.entries()).collect();
+            merge_runs(&runs, major)
+        };
         let id = TableId(self.next_table_id);
         self.next_table_id += 1;
         let output = SsTable::build(id, merged, self.config.block_size);
@@ -327,6 +384,7 @@ impl LsmTree {
         }
         kept.push(output);
         self.tables = kept;
+        self.rebuild_sizes();
         Some(CompactionReceipt {
             inputs,
             output: id,
@@ -343,22 +401,21 @@ impl LsmTree {
             return None;
         }
         let inputs: Vec<TableId> = self.tables.iter().map(|t| t.id()).collect();
-        let mut read_bytes = 0;
-        let sources: Vec<Vec<(Key, Cell)>> = self
-            .tables
-            .drain(..)
-            .map(|t| {
-                read_bytes += t.total_bytes();
-                self.cache.invalidate_table(t.id());
-                t.entries().to_vec()
-            })
-            .collect();
-        let merged = merge_entries(sources, true);
+        let read_bytes: u64 = self.tables.iter().map(|t| t.total_bytes()).sum();
+        let merged = {
+            let runs: Vec<&[(Key, Cell)]> = self.tables.iter().map(|t| t.entries()).collect();
+            merge_runs(&runs, true)
+        };
         let id = TableId(self.next_table_id);
         self.next_table_id += 1;
         let output = SsTable::build(id, merged, self.config.block_size);
         let write_bytes = output.total_bytes();
+        for t in &self.tables {
+            self.cache.invalidate_table(t.id());
+        }
+        self.tables.clear();
         self.tables.push(output);
+        self.rebuild_sizes();
         Some(CompactionReceipt {
             inputs,
             output: id,
@@ -377,13 +434,9 @@ impl LsmTree {
     /// restart, but residency is a performance matter handled by callers).
     pub fn recover(&mut self) {
         self.memtable = Memtable::new();
-        let entries: Vec<_> = self
-            .wal
-            .replay()
-            .map(|e| (e.key.clone(), e.cell.clone()))
-            .collect();
-        for (key, cell) in entries {
-            self.memtable.insert(key, cell);
+        let Self { wal, memtable, .. } = self;
+        for e in wal.replay() {
+            memtable.insert(e.key.clone(), e.cell.clone());
         }
     }
 
@@ -447,8 +500,8 @@ impl LsmTree {
     }
 
     /// Ids and sizes of all live SSTables (oldest first).
-    pub fn tables(&self) -> Vec<(TableId, u64)> {
-        self.table_sizes()
+    pub fn tables(&self) -> &[(TableId, u64)] {
+        &self.sizes
     }
 
     /// True when every run of `self` shares its allocation with the
@@ -581,10 +634,10 @@ mod tests {
         fill(&mut tree, 25..75, 2); // overlap: 25..50 updated
         let s = tree.scan(b"user000020", 10);
         assert_eq!(s.rows.len(), 10);
-        let keys: Vec<_> = s.rows.iter().map(|(key, _)| key.clone()).collect();
-        let mut sorted = keys.clone();
-        sorted.sort();
-        assert_eq!(keys, sorted);
+        assert!(
+            s.rows.windows(2).all(|w| w[0].0 < w[1].0),
+            "scan rows out of order"
+        );
         // Row 25 must be the ts=2 version.
         let row25 = s
             .rows

@@ -50,8 +50,13 @@ impl Memtable {
         self.entries.get(key)
     }
 
-    /// Iterate entries with key >= `start`, in key order.
-    pub fn range_from<'a>(&'a self, start: &[u8]) -> impl Iterator<Item = (&'a Key, &'a Cell)> {
+    /// Iterate entries with key >= `start`, in key order. The concrete
+    /// `Range` type lets the LSM scan path store this iterator alongside
+    /// SSTable iterators in one merge source without boxing.
+    pub fn range_from<'a>(
+        &'a self,
+        start: &[u8],
+    ) -> std::collections::btree_map::Range<'a, Key, Cell> {
         self.entries
             .range::<[u8], _>((Bound::Included(start), Bound::Unbounded))
     }

@@ -3,54 +3,62 @@
 //! Used by range scans (merge memtable + every SSTable) and by compaction
 //! (merge input tables into one output). Sources must each be sorted by key
 //! and unique per key; across sources, duplicate keys are reconciled with
-//! [`Cell::reconcile`].
+//! [`Cell::newer`].
+//!
+//! The merge is *streaming over borrows*: [`MergeRef`] yields `(&Key, &Cell)`
+//! straight out of the source runs, so neither compaction nor a range scan
+//! ever materialises owned copies of its inputs. Only the winner of each key
+//! is cloned — and with `Bytes`-backed keys/values a clone is a refcount
+//! bump, never a byte copy. Losing duplicate versions are skipped without
+//! touching their payloads at all.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::types::{Cell, Key};
 
-struct HeapItem {
-    key: Key,
-    cell: Cell,
+struct RefItem<'a> {
+    key: &'a Key,
+    cell: &'a Cell,
     source: usize,
 }
 
-impl PartialEq for HeapItem {
+impl PartialEq for RefItem<'_> {
     fn eq(&self, other: &Self) -> bool {
         self.key == other.key && self.source == other.source
     }
 }
-impl Eq for HeapItem {}
-impl PartialOrd for HeapItem {
+impl Eq for RefItem<'_> {}
+impl PartialOrd for RefItem<'_> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for HeapItem {
+impl Ord for RefItem<'_> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap by key (reverse for BinaryHeap); source index only breaks
         // ties for determinism, reconciliation handles the semantics.
         other
             .key
-            .cmp(&self.key)
+            .cmp(self.key)
             .then_with(|| other.source.cmp(&self.source))
     }
 }
 
-/// Merges multiple sorted `(Key, Cell)` iterators, reconciling duplicate
-/// keys by last-write-wins and emitting each key exactly once, in order.
-pub struct MergeIter<I: Iterator<Item = (Key, Cell)>> {
+/// Merges multiple sorted iterators of borrowed `(&Key, &Cell)` entries,
+/// reconciling duplicate keys by last-write-wins and yielding each key
+/// exactly once, in order, still by reference.
+pub struct MergeRef<'a, I: Iterator<Item = (&'a Key, &'a Cell)>> {
     sources: Vec<I>,
-    heap: BinaryHeap<HeapItem>,
+    heap: BinaryHeap<RefItem<'a>>,
 }
 
-impl<I: Iterator<Item = (Key, Cell)>> MergeIter<I> {
+impl<'a, I: Iterator<Item = (&'a Key, &'a Cell)>> MergeRef<'a, I> {
     /// Build a merge over `sources`; each must yield strictly increasing keys.
     pub fn new(sources: Vec<I>) -> Self {
         let mut merged = Self {
+            heap: BinaryHeap::with_capacity(sources.len()),
             sources,
-            heap: BinaryHeap::new(),
         };
         for i in 0..merged.sources.len() {
             merged.advance(i);
@@ -60,41 +68,61 @@ impl<I: Iterator<Item = (Key, Cell)>> MergeIter<I> {
 
     fn advance(&mut self, source: usize) {
         if let Some((key, cell)) = self.sources[source].next() {
-            self.heap.push(HeapItem { key, cell, source });
+            self.heap.push(RefItem { key, cell, source });
         }
     }
 }
 
-impl<I: Iterator<Item = (Key, Cell)>> Iterator for MergeIter<I> {
-    type Item = (Key, Cell);
+impl<'a, I: Iterator<Item = (&'a Key, &'a Cell)>> Iterator for MergeRef<'a, I> {
+    type Item = (&'a Key, &'a Cell);
 
     fn next(&mut self) -> Option<Self::Item> {
         let first = self.heap.pop()?;
         self.advance(first.source);
-        let mut key = first.key;
+        let key = first.key;
         let mut cell = first.cell;
-        // Fold in every other source's version of the same key.
+        // Fold in every other source's version of the same key; losers are
+        // dropped by reference without ever being cloned.
         while let Some(top) = self.heap.peek() {
             if top.key != key {
                 break;
             }
-            let dup = self.heap.pop().expect("peeked");
+            let Some(dup) = self.heap.pop() else { break };
             self.advance(dup.source);
-            cell = Cell::reconcile(cell, dup.cell);
-            key = dup.key; // same bytes; keeps borrowck simple
+            cell = Cell::newer(cell, dup.cell);
         }
         Some((key, cell))
     }
 }
 
-/// Convenience: merge vectors of entries (consumed) into one reconciled,
-/// sorted vector. `drop_tombstones` removes deletion markers from the output
-/// (valid only for a full/major merge where no older data survives).
+fn pair_refs(entry: &(Key, Cell)) -> (&Key, &Cell) {
+    (&entry.0, &entry.1)
+}
+
+/// Streaming merge of borrowed sorted runs into one reconciled, sorted
+/// vector. Clones (refcount-bumps) only the surviving winner of each key;
+/// the input runs are left untouched. `drop_tombstones` removes deletion
+/// markers from the output (valid only for a full/major merge where no older
+/// data survives).
+pub fn merge_runs(runs: &[&[(Key, Cell)]], drop_tombstones: bool) -> Vec<(Key, Cell)> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let sources: Vec<_> = runs.iter().map(|r| r.iter().map(pair_refs)).collect();
+    let mut out = Vec::with_capacity(total);
+    for (key, cell) in MergeRef::new(sources) {
+        if drop_tombstones && cell.is_tombstone() {
+            continue;
+        }
+        out.push((key.clone(), cell.clone()));
+    }
+    out
+}
+
+/// Convenience: merge vectors of entries into one reconciled, sorted vector.
+/// Thin wrapper over [`merge_runs`]; kept for callers that already own their
+/// runs (read repair reconciling replica result sets).
 pub fn merge_entries(sources: Vec<Vec<(Key, Cell)>>, drop_tombstones: bool) -> Vec<(Key, Cell)> {
-    let iters: Vec<_> = sources.into_iter().map(|v| v.into_iter()).collect();
-    MergeIter::new(iters)
-        .filter(|(_, c)| !(drop_tombstones && c.is_tombstone()))
-        .collect()
+    let views: Vec<&[(Key, Cell)]> = sources.iter().map(Vec::as_slice).collect();
+    merge_runs(&views, drop_tombstones)
 }
 
 #[cfg(test)]
@@ -162,6 +190,35 @@ mod tests {
         let out = merge_entries(vec![vec![], vec![e("a", "1", 1)], vec![]], false);
         assert_eq!(out.len(), 1);
         assert_eq!(merge_entries(Vec::new(), false).len(), 0);
+        assert_eq!(merge_runs(&[], false).len(), 0);
+    }
+
+    #[test]
+    fn merge_runs_output_shares_input_storage() {
+        // The streaming merge must not deep-copy payloads: the winner in the
+        // output is the *same* allocation as the winning input entry.
+        let runs = [vec![e("a", "old", 1)], vec![e("a", "new", 2)]];
+        let views: Vec<&[(Key, Cell)]> = runs.iter().map(Vec::as_slice).collect();
+        let out = merge_runs(&views, false);
+        assert_eq!(out.len(), 1);
+        let winner = runs[1][0].1.value.as_ref().map(|v| v.as_ref().as_ptr());
+        let got = out[0].1.value.as_ref().map(|v| v.as_ref().as_ptr());
+        assert_eq!(winner, got, "winner value should be refcount-shared");
+        // The emitted key is the first-popped source's copy (same bytes).
+        assert_eq!(out[0].0.as_ref().as_ptr(), runs[0][0].0.as_ref().as_ptr());
+    }
+
+    #[test]
+    fn merge_ref_yields_borrowed_winners_in_order() {
+        let runs = [
+            vec![e("a", "a1", 3), e("c", "c1", 1)],
+            vec![e("a", "a2", 1), e("b", "b2", 2)],
+        ];
+        let sources: Vec<_> = runs.iter().map(|r| r.iter().map(pair_refs)).collect();
+        let got: Vec<_> = MergeRef::new(sources)
+            .map(|(key, cell)| (key.clone(), cell.clone()))
+            .collect();
+        assert_eq!(got, vec![e("a", "a1", 3), e("b", "b2", 2), e("c", "c1", 1)]);
     }
 
     #[test]

@@ -20,6 +20,41 @@ impl std::fmt::Display for TableId {
     }
 }
 
+/// First 16 bytes of a key, zero-padded. Stored in flat arrays so the
+/// binary searches of the point-read path compare contiguous memory
+/// instead of chasing each `Bytes` key onto the heap.
+type KeyPrefix = [u8; 16];
+
+/// Blocks per top-level index chunk. 64 keeps the top level of a large
+/// run's index at a few cache lines per thousand blocks while the
+/// second-level window spans a single kilobyte of prefixes.
+const CHUNK: usize = 64;
+
+fn key_prefix(key: &[u8]) -> KeyPrefix {
+    let mut p = [0u8; 16];
+    let n = key.len().min(16);
+    p[..n].copy_from_slice(&key[..n]);
+    p
+}
+
+/// Compare two keys through their padded prefixes: when the prefixes
+/// differ, their byte order equals the full lexicographic order (zero
+/// padding preserves "shorter is smaller" because the pad byte sorts below
+/// any byte the longer key continues with, and equal pads defer); only a
+/// prefix tie needs the full keys.
+#[inline]
+fn cmp_via_prefix(
+    prefix: &KeyPrefix,
+    full: &[u8],
+    target_prefix: &KeyPrefix,
+    target: &[u8],
+) -> std::cmp::Ordering {
+    match prefix.cmp(target_prefix) {
+        std::cmp::Ordering::Equal => full.cmp(target),
+        ord => ord,
+    }
+}
+
 /// The immutable payload of a run: entries, block structure, index, bloom.
 /// Built once, never mutated, shared between clones of the owning table.
 #[derive(Debug)]
@@ -27,8 +62,18 @@ struct SsTableCore {
     entries: Vec<(Key, Cell)>,
     /// Index into `entries` where each block begins; always starts with 0.
     block_starts: Vec<u32>,
-    /// First key of each block (the sparse index).
-    block_first_keys: Vec<Key>,
+    /// Padded prefix of every entry key, parallel to `entries` — the
+    /// in-block search runs over this flat array.
+    entry_prefixes: Vec<KeyPrefix>,
+    /// Padded prefix of every block's first key, parallel to
+    /// `block_starts` — the block index search runs over this; the full
+    /// key of block `i` (needed only on a prefix tie) is
+    /// `entries[block_starts[i]]`.
+    block_prefixes: Vec<KeyPrefix>,
+    /// Prefix of every `CHUNK`-th block's first key: the top level of the
+    /// block index. Small enough to stay cache-hot, it narrows the search
+    /// to one `CHUNK`-block window before `block_prefixes` is touched.
+    chunk_prefixes: Vec<KeyPrefix>,
     /// Encoded bytes per block.
     block_bytes: Vec<u64>,
     bloom: BloomFilter,
@@ -60,16 +105,22 @@ impl SsTable {
         );
         let mut bloom = BloomFilter::with_capacity(entries.len(), 10);
         let mut block_starts = Vec::new();
-        let mut block_first_keys = Vec::new();
+        let mut entry_prefixes = Vec::with_capacity(entries.len());
+        let mut block_prefixes = Vec::new();
+        let mut chunk_prefixes = Vec::new();
         let mut block_bytes = Vec::new();
         let mut total_bytes = 0u64;
         let mut cur_bytes = 0u64;
         for (i, (key, cell)) in entries.iter().enumerate() {
             bloom.insert(key);
+            entry_prefixes.push(key_prefix(key));
             let len = entry_encoded_len(key, cell);
             if cur_bytes == 0 {
+                if block_starts.len() % CHUNK == 0 {
+                    chunk_prefixes.push(key_prefix(key));
+                }
                 block_starts.push(i as u32);
-                block_first_keys.push(key.clone());
+                block_prefixes.push(key_prefix(key));
                 block_bytes.push(0);
             }
             cur_bytes += len;
@@ -84,7 +135,9 @@ impl SsTable {
             core: Arc::new(SsTableCore {
                 entries,
                 block_starts,
-                block_first_keys,
+                entry_prefixes,
+                block_prefixes,
+                chunk_prefixes,
                 block_bytes,
                 bloom,
                 total_bytes,
@@ -144,21 +197,63 @@ impl SsTable {
         self.core.bloom.may_contain(key)
     }
 
+    /// [`SsTable::may_contain`] with the key's [`crate::bloom::hash_pair`]
+    /// precomputed once by the caller — a point read probing many runs hashes
+    /// the key a single time instead of twice per run.
+    pub fn may_contain_hashed(&self, hashes: (u64, u64)) -> bool {
+        self.core.bloom.may_contain_hashed(hashes)
+    }
+
     /// Which block could contain `key`, or `None` when the key sorts before
     /// the first block or the table is empty.
+    ///
+    /// The search runs over the flat prefix array (one contiguous compare
+    /// per probe, full keys only on prefix ties) — the sparse index of a
+    /// large run no longer costs a pointer chase per probe.
     pub fn block_for(&self, key: &[u8]) -> Option<usize> {
-        if self.core.block_first_keys.is_empty() {
+        let prefixes = &self.core.block_prefixes;
+        if prefixes.is_empty() {
             return None;
         }
-        match self
-            .core
-            .block_first_keys
-            .binary_search_by(|first| first.as_ref().cmp(key))
-        {
-            Ok(i) => Some(i),
-            Err(0) => None,
-            Err(i) => Some(i - 1),
+        let target = key_prefix(key);
+        // `le(i)`: does block i's first key sort <= `key`?
+        let le = |i: usize| {
+            cmp_via_prefix(
+                &prefixes[i],
+                self.core.entries[self.core.block_starts[i] as usize]
+                    .0
+                    .as_ref(),
+                &target,
+                key,
+            ) != std::cmp::Ordering::Greater
+        };
+        // Top level: rightmost chunk whose first block is <= key.
+        let chunks = &self.core.chunk_prefixes;
+        let mut clo = 0usize;
+        let mut chi = chunks.len();
+        while clo < chi {
+            let mid = clo + (chi - clo) / 2;
+            if le(mid * CHUNK) {
+                clo = mid + 1;
+            } else {
+                chi = mid;
+            }
         }
+        if clo == 0 {
+            return None; // key sorts before the first block
+        }
+        // Second level: rightmost block <= key inside that chunk's window.
+        let mut lo = (clo - 1) * CHUNK;
+        let mut hi = (clo * CHUNK).min(prefixes.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if le(mid) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo - 1)
     }
 
     /// Entry range `[start, end)` of a block within the table.
@@ -173,14 +268,24 @@ impl SsTable {
     }
 
     /// Point lookup confined to one block (the caller already paid for
-    /// reading that block).
+    /// reading that block). Searches the block's slice of the flat prefix
+    /// array; the heap-allocated key is touched only on a prefix tie.
     pub fn get_in_block(&self, block: usize, key: &[u8]) -> Option<&Cell> {
         let (start, end) = self.block_range(block);
-        let slice = &self.core.entries[start..end];
-        slice
-            .binary_search_by(|(k, _)| k.as_ref().cmp(key))
-            .ok()
-            .map(|i| &slice[i].1)
+        let prefixes = &self.core.entry_prefixes[start..end];
+        let entries = &self.core.entries[start..end];
+        let target = key_prefix(key);
+        let mut lo = 0usize;
+        let mut hi = prefixes.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match cmp_via_prefix(&prefixes[mid], entries[mid].0.as_ref(), &target, key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(&entries[mid].1),
+            }
+        }
+        None
     }
 
     /// Full point lookup (bloom + index + block search); for tests and
@@ -200,8 +305,9 @@ impl SsTable {
             .partition_point(|(k, _)| k.as_ref() < start)
     }
 
-    /// Iterate entries from the first key >= `start`.
-    pub fn entries_from(&self, start: &[u8]) -> impl Iterator<Item = &(Key, Cell)> {
+    /// Iterate entries from the first key >= `start`. The concrete slice
+    /// iterator type lets scan merge sources hold it unboxed.
+    pub fn entries_from(&self, start: &[u8]) -> std::slice::Iter<'_, (Key, Cell)> {
         self.core.entries[self.lower_bound(start)..].iter()
     }
 

@@ -51,9 +51,11 @@ impl Cell {
         self.value.as_ref().map_or(0, |v| v.len() as u64) + 9
     }
 
-    /// Last-write-wins reconciliation. Returns the winner of two versions of
-    /// the same key. Commutative: `reconcile(a, b) == reconcile(b, a)`.
-    pub fn reconcile(a: Cell, b: Cell) -> Cell {
+    /// Last-write-wins reconciliation without taking ownership: returns a
+    /// reference to the winner of two versions of the same key. The hot
+    /// read/merge paths fold candidates with this and clone only the final
+    /// winner, so losers never cost a refcount touch.
+    pub fn newer<'c>(a: &'c Cell, b: &'c Cell) -> &'c Cell {
         match a.ts.cmp(&b.ts) {
             std::cmp::Ordering::Greater => a,
             std::cmp::Ordering::Less => b,
@@ -72,6 +74,16 @@ impl Cell {
                     }
                 }
             }
+        }
+    }
+
+    /// Last-write-wins reconciliation. Returns the winner of two versions of
+    /// the same key. Commutative: `reconcile(a, b) == reconcile(b, a)`.
+    pub fn reconcile(a: Cell, b: Cell) -> Cell {
+        if std::ptr::eq(Cell::newer(&a, &b), &a) {
+            a
+        } else {
+            b
         }
     }
 }
@@ -118,6 +130,26 @@ mod tests {
     fn reconcile_is_idempotent() {
         let a = Cell::live(k("x"), 3);
         assert_eq!(Cell::reconcile(a.clone(), a.clone()), a);
+    }
+
+    #[test]
+    fn newer_agrees_with_reconcile() {
+        let cases = [
+            (Cell::live(k("old"), 10), Cell::live(k("new"), 20)),
+            (Cell::live(k("v"), 10), Cell::tombstone(10)),
+            (Cell::live(k("aaa"), 5), Cell::live(k("zzz"), 5)),
+            (Cell::tombstone(3), Cell::tombstone(3)),
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                Cell::newer(&a, &b).clone(),
+                Cell::reconcile(a.clone(), b.clone())
+            );
+            assert_eq!(
+                Cell::newer(&b, &a).clone(),
+                Cell::reconcile(b.clone(), a.clone())
+            );
+        }
     }
 
     #[test]

@@ -4,11 +4,128 @@ use bytes::Bytes;
 use proptest::prelude::*;
 
 use storage::compaction::SizeTieredPolicy;
-use storage::merge::merge_entries;
+use storage::merge::{merge_entries, merge_runs};
 use storage::{Cell, Key, LsmConfig, LsmTree, Memtable, SsTable, TableId};
 
 fn key(id: u64) -> Bytes {
     Bytes::from(format!("user{id:08}").into_bytes())
+}
+
+/// The pre-streaming merge implementation, preserved verbatim as the
+/// differential oracle for [`merge_runs`]: pop the smallest `(key, source)`
+/// pair off a heap of owned entries, reconcile duplicates with
+/// [`Cell::reconcile`], collect the winners. Same tie-break contract the
+/// streaming borrow-based merge must reproduce byte for byte.
+mod legacy {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+    use storage::{Cell, Key};
+
+    struct HeapItem {
+        key: Key,
+        cell: Cell,
+        source: usize,
+    }
+
+    impl PartialEq for HeapItem {
+        fn eq(&self, other: &Self) -> bool {
+            self.key == other.key && self.source == other.source
+        }
+    }
+    impl Eq for HeapItem {}
+    impl PartialOrd for HeapItem {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for HeapItem {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .key
+                .cmp(&self.key)
+                .then_with(|| other.source.cmp(&self.source))
+        }
+    }
+
+    pub fn merge_collect(
+        sources: Vec<Vec<(Key, Cell)>>,
+        drop_tombstones: bool,
+    ) -> Vec<(Key, Cell)> {
+        let mut iters: Vec<_> = sources.into_iter().map(|v| v.into_iter()).collect();
+        let mut heap = BinaryHeap::new();
+        for (source, it) in iters.iter_mut().enumerate() {
+            if let Some((key, cell)) = it.next() {
+                heap.push(HeapItem { key, cell, source });
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(first) = heap.pop() {
+            if let Some((key, cell)) = iters[first.source].next() {
+                heap.push(HeapItem {
+                    key,
+                    cell,
+                    source: first.source,
+                });
+            }
+            let mut key = first.key;
+            let mut cell = first.cell;
+            while let Some(top) = heap.peek() {
+                if top.key != key {
+                    break;
+                }
+                let dup = heap.pop().expect("peeked");
+                if let Some((k, c)) = iters[dup.source].next() {
+                    heap.push(HeapItem {
+                        key: k,
+                        cell: c,
+                        source: dup.source,
+                    });
+                }
+                cell = Cell::reconcile(cell, dup.cell);
+                key = dup.key;
+            }
+            if !(drop_tombstones && cell.is_tombstone()) {
+                out.push((key, cell));
+            }
+        }
+        out
+    }
+}
+
+/// Sorted/unique runs with duplicate keys across runs and a tombstone mix:
+/// the full input space of a compaction merge.
+fn arb_sorted_runs() -> impl Strategy<Value = Vec<Vec<(Key, Cell)>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (
+                0u64..60,
+                0u64..1_000,
+                prop::bool::ANY,
+                prop::collection::vec(any::<u8>(), 0..12),
+            ),
+            0..50,
+        ),
+        0..6,
+    )
+    .prop_map(|runs| {
+        runs.into_iter()
+            .map(|mut run| {
+                // Sorted + unique per key, as the merge contract requires.
+                run.sort_by_key(|(id, ..)| *id);
+                run.dedup_by_key(|(id, ..)| *id);
+                run.into_iter()
+                    .map(|(id, ts, dead, value)| {
+                        let cell = if dead {
+                            Cell::tombstone(ts)
+                        } else {
+                            Cell::live(Bytes::from(value), ts)
+                        };
+                        (key(id), cell)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    })
 }
 
 fn arb_entries(max_keys: u64) -> impl Strategy<Value = Vec<(u64, Vec<u8>, u64)>> {
@@ -94,6 +211,25 @@ proptest! {
         }
         let merged = merge_entries(merged_sources, false);
         prop_assert_eq!(merged, oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Differential: the streaming borrow-based merge produces exactly what
+    /// the old collect-then-merge implementation produced — same winners,
+    /// same order, same tombstone handling — for both minor merges (keep
+    /// tombstones) and major ones (drop them).
+    #[test]
+    fn streaming_merge_matches_legacy_collect_merge(
+        runs in arb_sorted_runs(),
+        drop_tombstones in prop::bool::ANY,
+    ) {
+        let views: Vec<&[(Key, Cell)]> = runs.iter().map(Vec::as_slice).collect();
+        let streamed = merge_runs(&views, drop_tombstones);
+        let legacy = legacy::merge_collect(runs.clone(), drop_tombstones);
+        prop_assert_eq!(&streamed, &legacy);
+        // The owned-entry wrapper keeps the same contract as the old entry
+        // point.
+        let wrapped = merge_entries(runs, drop_tombstones);
+        prop_assert_eq!(wrapped, streamed);
     }
 
     /// Every key written into an SSTable is found; absent keys are not.

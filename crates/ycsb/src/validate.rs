@@ -6,14 +6,14 @@
 //! acknowledged **before the read was issued**. Concurrent writes (in
 //! flight at read-issue time) do not count against the store.
 
-use std::collections::HashMap;
+use simkit::FastHashMap;
 
 use bytes::Bytes;
 
 /// Per-key acknowledged-write watermarks plus staleness counters.
 #[derive(Debug, Clone, Default)]
 pub struct StalenessTracker {
-    acked: HashMap<Bytes, u64>,
+    acked: FastHashMap<Bytes, u64>,
     stale: u64,
     checked: u64,
 }

@@ -112,6 +112,31 @@ pub trait Strategy {
 
     /// Draw one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derive a strategy by passing drawn values through `map`
+    /// (proptest's `prop_map`; no shrinking here, as with the rest of the
+    /// shim).
+    fn prop_map<T, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, map }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.source.new_value(rng))
+    }
 }
 
 impl<T: rand::SampleUniform> Strategy for Range<T> {
