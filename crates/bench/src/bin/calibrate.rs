@@ -34,6 +34,7 @@ fn main() {
         timeline_window_us: 0,
         retry: RetryPolicy::none(),
         trace: Default::default(),
+        audit: Default::default(),
         arrival: Default::default(),
     };
 
@@ -104,6 +105,7 @@ fn consistency_probe() {
             timeline_window_us: 0,
             retry: RetryPolicy::none(),
             trace: Default::default(),
+            audit: Default::default(),
             arrival: Default::default(),
         };
         let out = driver::run(&mut c, &dcfg);

@@ -1,0 +1,38 @@
+//! Regenerates Fig. 8: the client-centric consistency audit.
+//!
+//! Both stores, RF {1, 3, 5}, consistency levels ONE / QUORUM / write-ALL
+//! (Cassandra analog) and the implicit strong level (HBase analog), run
+//! through the Fig. 4 crash/recover plan with full per-client history
+//! recording. The histories are replayed through the session-guarantee
+//! checkers, the (Δ,p)-staleness curves, and the bounded linearizability
+//! check, split by fault phase. Prints the summary table and writes the
+//! per-(cell, phase) audit to `results/fig8_audit.csv`.
+
+use bench_core::audit_experiment::{run_audit, AuditExperimentConfig};
+
+fn main() {
+    let cfg = if bench::quick_requested() {
+        AuditExperimentConfig::quick()
+    } else {
+        AuditExperimentConfig::default()
+    };
+    eprintln!(
+        "fig8: {} records, rf {:?}, {} threads, target {} ops/s, crash {:.1}s..{:.1}s, {} lin keys",
+        cfg.scale.records,
+        cfg.rfs,
+        cfg.threads,
+        cfg.target_ops_per_sec,
+        cfg.crash_at_us as f64 / 1e6,
+        cfg.recover_at_us as f64 / 1e6,
+        cfg.lin_keys,
+    );
+    let started = std::time::Instant::now();
+    let result = run_audit(&cfg);
+    eprintln!("fig8: done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!("fig8: {}", result.telemetry.summary());
+
+    println!("{}", result.render());
+    let path = bench::results_dir().join("fig8_audit.csv");
+    result.table().write_csv(&path).expect("write csv");
+    println!("csv written to {}", path.display());
+}

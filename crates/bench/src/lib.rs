@@ -19,6 +19,10 @@
 //! * `fig7` — geo-replication PACELC sweep (region count × consistency
 //!   level over multi-datacenter topologies: DC-aware quorums on the
 //!   Cassandra analog, async WAL shipping on the HBase analog).
+//! * `fig8` — client-centric consistency audit (per-client operation
+//!   histories recorded through the Fig. 4 crash plan, replayed through
+//!   session-guarantee checkers, (Δ,p)-staleness curves, and a bounded
+//!   linearizability check, split by fault phase).
 //! * `ablations` — beyond-paper ablations (read repair, commit-log
 //!   durability, failover phases).
 //!

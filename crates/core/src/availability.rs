@@ -366,6 +366,7 @@ pub fn run_availability_with(cfg: &AvailabilityConfig, sweep: &Sweep) -> Availab
             timeline_window_us: cfg.window_us,
             retry,
             trace: obs::TraceConfig::off(),
+            audit: audit::AuditConfig::off(),
             arrival: crate::driver::ArrivalMode::ClosedLoop,
         };
         let (cl, out) = match store {

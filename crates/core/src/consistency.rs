@@ -119,6 +119,10 @@ pub struct ConsistencyCell {
     pub mean_us: f64,
     /// Stale-read fraction.
     pub stale_fraction: f64,
+    /// Fraction of checked reads that found *no* value after an
+    /// acknowledged write — lost writes, split out of the stale fraction
+    /// (missing ⊂ stale).
+    pub missing_fraction: f64,
     /// Background repair mutations the level generated (cumulative counter
     /// at run end; compare across levels, not across workloads).
     pub repair_writes: u64,
@@ -229,6 +233,7 @@ impl ConsistencyResult {
                 "runtime",
                 "mean_us",
                 "stale_fraction",
+                "missing_fraction",
                 "repair_writes",
             ],
         );
@@ -240,6 +245,7 @@ impl ConsistencyResult {
                 format!("{:.1}", c.runtime),
                 format!("{:.1}", c.mean_us),
                 format!("{:.5}", c.stale_fraction),
+                format!("{:.5}", c.missing_fraction),
                 c.repair_writes.to_string(),
             ]);
         }
@@ -291,6 +297,7 @@ pub fn run_consistency_with(cfg: &ConsistencyConfig, sweep: &Sweep) -> Consisten
             timeline_window_us: 0,
             retry: RetryPolicy::none(),
             trace: obs::TraceConfig::off(),
+            audit: audit::AuditConfig::off(),
             arrival: crate::driver::ArrivalMode::ClosedLoop,
         };
         let run = driver::run(&mut snapshot, &dcfg);
@@ -299,6 +306,7 @@ pub fn run_consistency_with(cfg: &ConsistencyConfig, sweep: &Sweep) -> Consisten
             .iter()
             .find(|(k, _)| *k == "repair_writes")
             .map_or(0, |(_, v)| *v);
+        let (_, checked) = run.metrics.staleness();
         ConsistencyCell {
             level: level.name,
             workload: workload.name.clone(),
@@ -306,6 +314,11 @@ pub fn run_consistency_with(cfg: &ConsistencyConfig, sweep: &Sweep) -> Consisten
             runtime: run.throughput,
             mean_us: run.mean_latency_us,
             stale_fraction: run.stale_fraction,
+            missing_fraction: if checked == 0 {
+                0.0
+            } else {
+                run.metrics.missing_reads() as f64 / checked as f64
+            },
             repair_writes,
         }
     });

@@ -275,6 +275,7 @@ pub fn run_decomposition_with(cfg: &DecompositionConfig, sweep: &Sweep) -> Decom
             timeline_window_us: 0,
             retry: RetryPolicy::none(),
             trace: TraceConfig::every(cfg.sample_every),
+            audit: audit::AuditConfig::off(),
             arrival: crate::driver::ArrivalMode::ClosedLoop,
         };
         let (cl, out) = match store {

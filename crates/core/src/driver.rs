@@ -87,6 +87,11 @@ pub struct DriverConfig {
     /// draws are added, and the run is bit-identical to a driver without
     /// the tracing layer.
     pub trace: obs::TraceConfig,
+    /// Operation-history recording for the consistency auditors.
+    /// [`audit::AuditConfig::off`] (the default) keeps the recorder
+    /// disabled: no records are kept, no events or RNG draws are added,
+    /// and the run is bit-identical to a driver without the audit layer.
+    pub audit: audit::AuditConfig,
     /// Arrival model. [`ArrivalMode::ClosedLoop`] (the default) is the
     /// paper's client and is bit-identical to the pre-open-loop driver.
     pub arrival: ArrivalMode,
@@ -108,6 +113,7 @@ impl DriverConfig {
             timeline_window_us: 0,
             retry: RetryPolicy::none(),
             trace: obs::TraceConfig::off(),
+            audit: audit::AuditConfig::off(),
             arrival: ArrivalMode::ClosedLoop,
         }
     }
@@ -143,6 +149,9 @@ pub struct RunOutcome {
     /// Per-op span trees for the sampled operations, when
     /// [`DriverConfig::trace`] enabled tracing; `None` otherwise.
     pub trace: Option<obs::RunTrace>,
+    /// The recorded operation history, when [`DriverConfig::audit`]
+    /// enabled recording; `None` otherwise.
+    pub audit: Option<audit::History>,
 }
 
 /// Bulk-load `records` records (functional, instant) and flush, leaving the
@@ -257,6 +266,11 @@ where
     if tracing {
         store.tracer_mut().enable();
     }
+    // Audit bookkeeping. Gated on `auditing`, and the recorder itself is
+    // pure bookkeeping (no events, no RNG), so a disabled run is
+    // bit-identical to one without any of this machinery.
+    let auditing = cfg.audit.enabled();
+    let mut recorder = audit::Recorder::new(cfg.audit, cfg.seed);
     // Attempt token -> logical op id, for every attempt of a traced op.
     // Retries, hedges, and the RMW write phase submit fresh tokens whose
     // spans must fold back into the logical op's trace.
@@ -587,9 +601,10 @@ where
                         tracker.write_acked(ctx.key.clone(), *ts);
                     }
                     OpResult::Value(cell) => {
-                        let stale = tracker.check(ctx.expected_ts, cell.as_ref().map(|c| c.ts));
+                        let check =
+                            tracker.check_read(ctx.expected_ts, cell.as_ref().map(|c| c.ts));
                         if in_window {
-                            metrics.record_staleness_check(stale);
+                            metrics.record_read_check(check.stale, check.missing);
                         }
                     }
                     _ => {}
@@ -614,6 +629,25 @@ where
             let Some(ctx) = ctxs.remove(opkey) else {
                 continue; // unreachable: every path above kept the slot live
             };
+            if auditing {
+                recorder.push(audit::OpRecord {
+                    client: ctx.thread as u32,
+                    kind: ctx.kind,
+                    key: ctx.key.clone(),
+                    issued: ctx.issued,
+                    settled: now,
+                    measured: in_window,
+                    fate: match &c.result {
+                        OpResult::Written { ts } => audit::Fate::Write { ts: *ts },
+                        OpResult::Value(cell) => audit::Fate::Read {
+                            expected_ts: ctx.expected_ts,
+                            observed_ts: cell.as_ref().map(|cl| cl.ts),
+                        },
+                        OpResult::Rows(_) => audit::Fate::Scanned,
+                        OpResult::Error(_) => audit::Fate::Failed,
+                    },
+                });
+            }
             if tracing {
                 if let Some(logical) = ctx.trace_id {
                     let ok = !matches!(c.result, OpResult::Error(_));
@@ -693,6 +727,11 @@ where
         unsettled_ops: ctxs.len() as u64,
         counters: store.counters(),
         trace,
+        audit: if auditing {
+            Some(recorder.finish())
+        } else {
+            None
+        },
         metrics,
     }
 }

@@ -345,6 +345,7 @@ pub fn run_failure_with(cfg: &FailureConfig, sweep: &Sweep) -> FailureResult {
             // this plan under real retry policies.
             retry: RetryPolicy::none(),
             trace: obs::TraceConfig::off(),
+            audit: audit::AuditConfig::off(),
             arrival: crate::driver::ArrivalMode::ClosedLoop,
         };
         let (cl, out) = match store {

@@ -322,6 +322,7 @@ fn driver_config(cfg: &GeoExperimentConfig, seed: u64) -> DriverConfig {
         timeline_window_us: 0,
         retry: RetryPolicy::none(),
         trace: obs::TraceConfig::off(),
+        audit: audit::AuditConfig::off(),
         arrival: ArrivalMode::ClosedLoop,
     }
 }

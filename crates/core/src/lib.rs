@@ -43,6 +43,11 @@
 //!   open-loop offered-load sweep across the capacity knee, with and
 //!   without server-side admission control, tracing goodput, shed rate,
 //!   per-tenant p99, and SLA attainment per load step.
+//! * [`audit_experiment`] — Fig. 8: client-centric consistency auditing —
+//!   every client's operation history recorded through the zero-cost audit
+//!   hook, then replayed through the session-guarantee checkers, the
+//!   (Δ,p)-staleness curves, and a bounded linearizability check, per
+//!   fault phase of the Fig. 4 crash plan.
 //! * [`ablation`] — beyond-paper experiments: read repair on/off,
 //!   commit-log durability modes, node failure/failover.
 //! * [`perf`] — engine-speed measurement (`BENCH_009.json`): queue-churn
@@ -63,6 +68,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablation;
+pub mod audit_experiment;
 pub mod availability;
 pub mod consistency;
 pub mod decomposition;
@@ -80,6 +86,7 @@ pub mod store;
 pub mod stress;
 pub mod sweep;
 
+pub use audit_experiment::{AuditCell, AuditExperimentConfig, AuditResult, PhaseAudit};
 pub use availability::{AvailabilityConfig, AvailabilityResult};
 pub use decomposition::{DecompositionConfig, DecompositionResult};
 pub use driver::{ArrivalMode, DriverConfig, RunOutcome};

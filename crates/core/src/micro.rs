@@ -185,6 +185,7 @@ fn micro_driver_cfg(cfg: &MicroConfig, op: OpKind, seed: u64) -> DriverConfig {
         timeline_window_us: 0,
         retry: RetryPolicy::none(),
         trace: obs::TraceConfig::off(),
+        audit: audit::AuditConfig::off(),
         arrival: crate::driver::ArrivalMode::ClosedLoop,
     }
 }

@@ -320,6 +320,7 @@ fn driver_config(cfg: &OverloadConfig, seed: u64, offered: f64) -> DriverConfig 
             ..RetryPolicy::none()
         },
         trace: obs::TraceConfig::off(),
+        audit: audit::AuditConfig::off(),
         arrival: ArrivalMode::OpenLoop(OpenLoop {
             ops_per_sec: offered,
             diurnal_amplitude: cfg.diurnal_amplitude,

@@ -172,6 +172,7 @@ where
                     timeline_window_us: 0,
                     retry: RetryPolicy::none(),
                     trace: obs::TraceConfig::off(),
+                    audit: audit::AuditConfig::off(),
                     arrival: crate::driver::ArrivalMode::ClosedLoop,
                 };
                 let out = driver::run(&mut snapshot, &dcfg);

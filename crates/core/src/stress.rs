@@ -231,6 +231,7 @@ fn run_cell<S: SimStore + faults::FaultTarget<Event = <S as SimStore>::Event> + 
             timeline_window_us: 0,
             retry: RetryPolicy::none(),
             trace: obs::TraceConfig::off(),
+            audit: audit::AuditConfig::off(),
             arrival: crate::driver::ArrivalMode::ClosedLoop,
         };
         let out = driver::run(&mut snapshot, &dcfg);

@@ -40,5 +40,5 @@ pub use client::Throttle;
 pub use generator::RequestDistribution;
 pub use keys::{balanced_tokens, encode_key, encode_point, KeyInterner, KeySpace, ValuePool};
 pub use stats::{Histogram, ResilienceCounters, RunMetrics, TenantStats, Timeline, TimelineWindow};
-pub use validate::StalenessTracker;
+pub use validate::{ReadCheck, StalenessTracker};
 pub use workload::{DistributionKind, OpMix, WorkloadSpec};

@@ -366,6 +366,7 @@ pub struct RunMetrics {
     finished_at: u64,
     errors: u64,
     stale_reads: u64,
+    missing_reads: u64,
     reads_checked: u64,
 }
 
@@ -393,9 +394,20 @@ impl RunMetrics {
 
     /// Record one read-consistency check outcome.
     pub fn record_staleness_check(&mut self, stale: bool) {
+        self.record_read_check(stale, false);
+    }
+
+    /// Record one read-consistency check outcome with the full verdict:
+    /// `missing` marks a read that found no value after an acknowledged
+    /// write (always also `stale`), so lost writes are countable apart
+    /// from stale reads.
+    pub fn record_read_check(&mut self, stale: bool, missing: bool) {
         self.reads_checked += 1;
         if stale {
             self.stale_reads += 1;
+        }
+        if missing {
+            self.missing_reads += 1;
         }
     }
 
@@ -490,6 +502,12 @@ impl RunMetrics {
     /// Stale reads observed / reads checked.
     pub fn staleness(&self) -> (u64, u64) {
         (self.stale_reads, self.reads_checked)
+    }
+
+    /// Checked reads that found no value after an acknowledged write (a
+    /// subset of the stale count: lost writes, not lagging replicas).
+    pub fn missing_reads(&self) -> u64 {
+        self.missing_reads
     }
 
     /// Runtime throughput over the measured window, ops/second.
@@ -678,6 +696,17 @@ mod tests {
         m.record_staleness_check(false);
         assert_eq!(m.errors(), 1);
         assert_eq!(m.staleness(), (1, 2));
+        assert_eq!(m.missing_reads(), 0);
+    }
+
+    #[test]
+    fn missing_reads_count_apart_from_stale() {
+        let mut m = RunMetrics::new();
+        m.record_read_check(true, false); // lagging replica
+        m.record_read_check(true, true); // lost write
+        m.record_read_check(false, false); // fresh
+        assert_eq!(m.staleness(), (2, 3));
+        assert_eq!(m.missing_reads(), 1);
     }
 
     #[test]

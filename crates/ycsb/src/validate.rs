@@ -10,11 +10,25 @@ use simkit::FastHashMap;
 
 use bytes::Bytes;
 
+/// The verdict for one completed read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadCheck {
+    /// The read returned a version older than the newest write
+    /// acknowledged before it was issued (not-found included).
+    pub stale: bool,
+    /// The read found *no* value at all after an acknowledged write — a
+    /// lost-write symptom rather than a lagging replica. Always implies
+    /// `stale` (missing ⊂ stale), so the stale counts figures already
+    /// report are unchanged by tracking it.
+    pub missing: bool,
+}
+
 /// Per-key acknowledged-write watermarks plus staleness counters.
 #[derive(Debug, Clone, Default)]
 pub struct StalenessTracker {
     acked: FastHashMap<Bytes, u64>,
     stale: u64,
+    missing: u64,
     checked: u64,
 }
 
@@ -41,17 +55,34 @@ impl StalenessTracker {
     /// time, `observed` the version timestamp the read returned (`None` for
     /// not-found). Returns `true` when the read was stale.
     pub fn check(&mut self, expected: u64, observed: Option<u64>) -> bool {
+        self.check_read(expected, observed).stale
+    }
+
+    /// [`StalenessTracker::check`] with the full verdict: splits "found no
+    /// value after an acked write" (`missing`) out of the plain stale
+    /// count, so lost writes are distinguishable from stale reads.
+    pub fn check_read(&mut self, expected: u64, observed: Option<u64>) -> ReadCheck {
         self.checked += 1;
         let stale = observed.unwrap_or(0) < expected;
+        let missing = observed.is_none() && expected > 0;
         if stale {
             self.stale += 1;
         }
-        stale
+        if missing {
+            self.missing += 1;
+        }
+        ReadCheck { stale, missing }
     }
 
     /// `(stale, checked)` counts so far.
     pub fn counts(&self) -> (u64, u64) {
         (self.stale, self.checked)
+    }
+
+    /// Reads that found no value after an acknowledged write (a subset of
+    /// the stale count).
+    pub fn missing(&self) -> u64 {
+        self.missing
     }
 
     /// Stale fraction (0 when nothing checked).
@@ -98,6 +129,32 @@ mod tests {
         );
         assert_eq!(t.counts(), (2, 2));
         assert!((t.stale_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_splits_not_found_out_of_stale() {
+        let mut t = StalenessTracker::new();
+        t.write_acked(k("a"), 100);
+        // An old version is stale but not missing.
+        assert_eq!(
+            t.check_read(t.expected(b"a"), Some(50)),
+            ReadCheck {
+                stale: true,
+                missing: false
+            }
+        );
+        // Not-found after an ack is both: missing ⊂ stale.
+        assert_eq!(
+            t.check_read(t.expected(b"a"), None),
+            ReadCheck {
+                stale: true,
+                missing: true
+            }
+        );
+        // Not-found on a never-written key is neither.
+        assert_eq!(t.check_read(0, None), ReadCheck::default());
+        assert_eq!(t.counts(), (2, 3));
+        assert_eq!(t.missing(), 1);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   crash/recover/degradation plans the driver replays in virtual time).
 //! * [`obs`] — deterministic per-op span tracing: stage taxonomy,
 //!   critical-path extraction, and trace export (zero-cost when disabled).
+//! * [`audit`] — client-centric consistency auditing: per-client
+//!   operation-history recording (zero-cost when disabled),
+//!   session-guarantee checkers, (Δ,p)-staleness curves, and a bounded
+//!   linearizability checker.
 //! * [`ycsb`] — the YCSB-analog workload generator and client.
 //! * [`bench_core`] — the paper's benchmark methodology (micro/stress/
 //!   consistency experiments, sweeps, report rendering).
@@ -25,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub use audit;
 pub use bench_core;
 pub use cstore;
 pub use dfs;

@@ -189,3 +189,44 @@ fn read_repair_chance_zero_leaves_failures_unrepaired() {
     assert_eq!(c.metrics().repair_fanouts, 0);
     assert_eq!(c.metrics().repair_writes, 0);
 }
+
+#[test]
+fn audit_history_reproduces_the_staleness_tracker() {
+    // The recorded history must carry enough to re-derive the live
+    // tracker's accounting exactly: replaying it through
+    // `History::stale_counts` gives the same (stale, checked, missing)
+    // triple as `RunMetrics::staleness()` / `missing_reads()`. Run a
+    // config where staleness actually occurs (CL=ONE under a crash) so
+    // the invariant is exercised on nonzero counts.
+    let scale = Scale::tiny();
+    let mut c = build_cstore(&scale, 3, Consistency::One, Consistency::One);
+    driver::load(&mut c, scale.records, scale.value_len, 5);
+    let mut cfg = quick(WorkloadSpec::read_update(), &scale);
+    cfg.measure_ops = 4_000;
+    cfg.audit = cloudserve::audit::AuditConfig::all();
+    cfg.faults = cloudserve::faults::FaultPlan::new().crash_window(
+        cloudserve::simkit::NodeId(0),
+        400_000,
+        900_000,
+    );
+    let out = driver::run(&mut c, &cfg);
+    let history = out.audit.expect("audit enabled");
+    let replay = history.stale_counts();
+    let (stale, checked) = out.metrics.staleness();
+    assert!(checked > 0);
+    assert_eq!(replay.checked, checked);
+    assert_eq!(replay.stale, stale);
+    assert_eq!(replay.missing, out.metrics.missing_reads());
+    // Client-sampled recording stays a subset that never invents checks.
+    let mut cfg2 = quick(WorkloadSpec::read_update(), &scale);
+    cfg2.measure_ops = 4_000;
+    cfg2.audit = cloudserve::audit::AuditConfig::every(4);
+    let out2 = driver::run(&mut c, &cfg2);
+    let sampled = out2.audit.expect("audit enabled").stale_counts();
+    let (_, checked2) = out2.metrics.staleness();
+    assert!(sampled.checked > 0, "some clients sampled");
+    assert!(
+        sampled.checked < checked2,
+        "sampling records a strict subset"
+    );
+}
